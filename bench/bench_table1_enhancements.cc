@@ -1,0 +1,70 @@
+// Table I: successful recovery rate of NiLiHype as the Section V-A
+// enhancements are added cumulatively. Setup: 1AppVM, failstop faults
+// (Section V-B / VI-A); success = no VM affected.
+//
+// Paper values: Basic 0%, +Clear IRQ count 16.0±2.3%, +ReHype mechanisms
+// 51.8±3.1%, +sched-metadata consistency 82.2±2.4%, +reprogram hardware
+// timer 95.0±1.4%, +unlock static locks 96.1±1.2%, +reactivate recurring
+// timer events (final).
+#include "bench/bench_util.h"
+#include "core/target_system.h"
+
+using namespace nlh;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("NiLiHype incremental enhancements — recovery rate",
+                     "Table I");
+
+  static const char* kRows[] = {
+      "Basic (discard all execution threads)",
+      "+ Clear IRQ count",
+      "+ Enhanced with ReHype mechanisms",
+      "+ Ensure consistency within scheduling metadata",
+      "+ Reprogram hardware timer",
+      "+ Unlock static locks",
+      "+ Reactivate recurring timer events",
+  };
+  static const char* kPaper[] = {"0%",     "16.0%", "51.8%", "82.2%",
+                                 "95.0%", "96.1%", "~96%"};
+
+  std::printf("%-50s %-16s %-8s\n", "Mechanism (cumulative)", "Measured",
+              "Paper");
+  for (int row = 0; row <= 6; ++row) {
+    core::RunConfig base =
+        core::RunConfig::OneAppVm(guest::BenchmarkKind::kUnixBench);
+    base.mechanism = core::Mechanism::kNiLiHype;
+    base.enhancements = recovery::EnhancementSet::TableISimple(row);
+    base.fault = inject::FaultType::kFailstop;
+
+    // The paper's 1AppVM development runs used the simple workloads
+    // (UnixBench or BlkBench); alternate between them across the campaign.
+    core::CampaignOptions opts = args.MakeOptions(400, 1000);
+    core::CampaignResult agg;
+    {
+      core::RunConfig cfg_a = base;
+      cfg_a.bench_1appvm = guest::BenchmarkKind::kUnixBench;
+      core::CampaignOptions oa = opts;
+      oa.runs = opts.runs / 2;
+      core::CampaignResult ra = core::RunCampaign(cfg_a, oa);
+
+      core::RunConfig cfg_b =
+          core::RunConfig::OneAppVm(guest::BenchmarkKind::kBlkBench);
+      cfg_b.mechanism = base.mechanism;
+      cfg_b.enhancements = base.enhancements;
+      cfg_b.fault = base.fault;
+      core::CampaignOptions ob = opts;
+      ob.runs = opts.runs - oa.runs;
+      ob.seed0 = opts.seed0 + 500000;
+      core::CampaignResult rb = core::RunCampaign(cfg_b, ob);
+
+      agg.runs = ra.runs + rb.runs;
+      agg.detected = ra.detected + rb.detected;
+      agg.success.numer = ra.success.numer + rb.success.numer;
+      agg.success.denom = ra.success.denom + rb.success.denom;
+    }
+    std::printf("%-50s %-16s %-8s\n", kRows[row],
+                agg.success.ToString().c_str(), kPaper[row]);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper and
+// prints the same rows/series. Common flags:
+//   --runs=N     runs per campaign cell (default: reduced counts; the paper
+//                used 1000-5000 per fault type)
+//   --full       use the paper's injection counts (Section VII-A)
+//   --threads=N  worker threads (default: all cores)
+//   --seed=N     base seed
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/campaign.h"
+
+namespace nlh::bench {
+
+struct BenchArgs {
+  int runs = 0;       // 0 = per-bench default
+  bool full = false;
+  int threads = 0;
+  std::uint64_t seed = 1000;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--runs=", 7) == 0) {
+        a.runs = std::atoi(arg + 7);
+      } else if (std::strcmp(arg, "--full") == 0) {
+        a.full = true;
+      } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+        a.threads = std::atoi(arg + 10);
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        a.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf(
+            "flags: --runs=N --full --threads=N --seed=N\n");
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+
+  core::CampaignOptions MakeOptions(int default_runs, int full_runs) const {
+    core::CampaignOptions o;
+    o.runs = runs > 0 ? runs : (full ? full_runs : default_runs);
+    o.threads = threads;
+    o.seed0 = seed;
+    return o;
+  }
+};
+
+inline void PrintHeader(const char* what, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("(reproduces %s of \"Fast Hypervisor Recovery Without Reboot\","
+              " DSN 2018)\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace nlh::bench

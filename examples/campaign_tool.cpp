@@ -1,0 +1,100 @@
+// A command-line fault-injection campaign tool — the equivalent of the
+// paper's Campaign Agent (Section VI-C, Figure 1). Runs N independent
+// injection runs of a chosen configuration and prints the aggregate
+// statistics with 95% confidence intervals.
+//
+// Usage:
+//   campaign_tool [--mech=nilihype|rehype|none] [--fault=failstop|register|code]
+//                 [--setup=1appvm|3appvm] [--bench=unix|blk|net]
+//                 [--runs=N] [--seed=N] [--verbose]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/target_system.h"
+
+using namespace nlh;
+
+int main(int argc, char** argv) {
+  core::RunConfig cfg;
+  core::CampaignOptions opts;
+  opts.runs = 200;
+  bool verbose = false;
+  guest::BenchmarkKind bench = guest::BenchmarkKind::kUnixBench;
+  bool one_appvm = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--mech=", 0) == 0) {
+      const std::string m = val("--mech=");
+      cfg.mechanism = m == "rehype" ? core::Mechanism::kReHype
+                      : m == "none" ? core::Mechanism::kNone
+                                    : core::Mechanism::kNiLiHype;
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      const std::string f = val("--fault=");
+      cfg.fault = f == "register" ? inject::FaultType::kRegister
+                  : f == "code"   ? inject::FaultType::kCode
+                                  : inject::FaultType::kFailstop;
+    } else if (arg.rfind("--setup=", 0) == 0) {
+      one_appvm = std::string(val("--setup=")) == "1appvm";
+    } else if (arg.rfind("--bench=", 0) == 0) {
+      const std::string b = val("--bench=");
+      bench = b == "blk"   ? guest::BenchmarkKind::kBlkBench
+              : b == "net" ? guest::BenchmarkKind::kNetBench
+                           : guest::BenchmarkKind::kUnixBench;
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      opts.runs = std::atoi(val("--runs="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed0 = static_cast<std::uint64_t>(std::atoll(val("--seed=")));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::printf("unknown flag %s (see header comment)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (one_appvm) {
+    const core::Mechanism mech = cfg.mechanism;
+    const inject::FaultType fault = cfg.fault;
+    cfg = core::RunConfig::OneAppVm(bench);
+    cfg.mechanism = mech;
+    cfg.fault = fault;
+  }
+
+  std::printf("campaign: %s, %s faults, %s, %d runs (seed0=%llu)\n",
+              core::MechanismName(cfg.mechanism),
+              inject::FaultTypeName(cfg.fault),
+              one_appvm ? "1AppVM" : "3AppVM", opts.runs,
+              static_cast<unsigned long long>(opts.seed0));
+
+  if (verbose) {
+    opts.on_run = [](int i, const core::RunResult& r) {
+      std::printf("  run %4d: %-14s %s%s\n", i,
+                  core::OutcomeClassName(r.outcome),
+                  r.outcome == core::OutcomeClass::kDetected
+                      ? (r.success ? "recovered" : "FAILED: ")
+                      : "",
+                  r.success ? "" : r.failure_reason.c_str());
+    };
+  }
+
+  const core::CampaignResult res = core::RunCampaign(cfg, opts);
+  std::printf("\noutcomes: %.1f%% non-manifested, %.1f%% SDC, %.1f%% detected\n",
+              res.NonManifestedRate() * 100, res.SdcRate() * 100,
+              res.DetectedRate() * 100);
+  std::printf("successful recovery rate: %s\n", res.success.ToString().c_str());
+  std::printf("no-VM-failures (noVMF):   %s\n",
+              res.no_vm_failures.ToString().c_str());
+  if (!res.failure_reasons.empty()) {
+    std::printf("failure causes:\n");
+    for (const auto& [reason, count] : res.failure_reasons) {
+      std::printf("  %4d  %s\n", count, reason.c_str());
+    }
+  }
+  return 0;
+}

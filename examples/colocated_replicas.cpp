@@ -1,0 +1,108 @@
+// The paper's motivating deployment (Section I): running BOTH replicas of a
+// replicated service on the SAME host is attractive (performance, placement
+// flexibility) but only sane if a hypervisor failure does not take down
+// both replicas at once.
+//
+// This example composes the library's lower-level APIs directly — platform,
+// hypervisor, guests, injector, recovery — instead of using the packaged
+// core::TargetSystem, and compares the fate of two colocated replicas under
+// a hypervisor failstop fault with and without NiLiHype.
+#include <cstdio>
+
+#include "detect/hang_detector.h"
+#include "guest/appvm.h"
+#include "hv/hypervisor.h"
+#include "inject/injector.h"
+#include "recovery/manager.h"
+#include "recovery/nilihype.h"
+
+using namespace nlh;
+
+namespace {
+
+struct Host {
+  explicit Host(bool with_recovery) : platform(Config(), 2024),
+                                      hv(platform, hv::HvConfig{}),
+                                      hang(hv) {
+    hv.Boot();
+    hang.Install();
+    if (with_recovery) {
+      manager = std::make_unique<recovery::RecoveryManager>(
+          hv, std::make_unique<recovery::NiLiHype>(
+                  hv, recovery::EnhancementSet::Full()),
+          &hang);
+      manager->Install();
+    }
+    // Two replicas of the same service, pinned to different CPUs.
+    for (int i = 0; i < 2; ++i) {
+      const hv::DomainId dom = hv.CreateDomainDirect(
+          "replica" + std::to_string(i), false, /*cpu=*/1 + i, 64);
+      replicas[i] = std::make_unique<guest::AppVmKernel>(
+          hv, "replica" + std::to_string(i), 100 + static_cast<unsigned>(i),
+          guest::BenchmarkKind::kUnixBench, /*iterations=*/15000);
+      replicas[i]->Bind(dom, hv.FindDomain(dom)->vcpus.front());
+      hv.AttachGuest(dom, replicas[i].get());
+      hv.StartDomain(dom);
+    }
+  }
+
+  static hw::PlatformConfig Config() {
+    hw::PlatformConfig cfg;
+    cfg.num_cpus = 4;
+    return cfg;
+  }
+
+  void InjectHypervisorFault(sim::Time at) {
+    injector = std::make_unique<inject::FaultInjector>(hv,
+                                                       inject::CorruptionHooks{},
+                                                       7);
+    inject::InjectionPlan plan;
+    plan.type = inject::FaultType::kFailstop;
+    plan.first_trigger = at;
+    plan.second_trigger_instructions = 5000;
+    injector->Arm(plan);
+  }
+
+  int SurvivingReplicas() const {
+    int n = 0;
+    for (const auto& r : replicas) {
+      if (r && !r->Affected() && r->BenchmarkDone()) ++n;
+    }
+    return n;
+  }
+
+  hw::Platform platform;
+  hv::Hypervisor hv;
+  detect::HangDetector hang;
+  std::unique_ptr<recovery::RecoveryManager> manager;
+  std::unique_ptr<inject::FaultInjector> injector;
+  std::unique_ptr<guest::AppVmKernel> replicas[2];
+};
+
+void RunHost(const char* label, bool with_recovery) {
+  Host host(with_recovery);
+  host.InjectHypervisorFault(sim::Milliseconds(300));
+  host.platform.queue().RunUntil(sim::Seconds(4));
+  std::printf("%-28s surviving replicas: %d/2", label,
+              host.SurvivingReplicas());
+  if (host.manager && !host.manager->reports().empty()) {
+    std::printf("   (service pause: %.1f ms)",
+                sim::ToMillisF(host.manager->reports().front().total()));
+  }
+  if (host.hv.dead()) std::printf("   [host dead: %s]",
+                                  host.hv.death_reason().c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Colocated VM replicas vs hypervisor failure (Section I)\n\n");
+  RunHost("no recovery mechanism:", false);
+  RunHost("NiLiHype (microreset):", true);
+  std::printf(
+      "\nWith microreset recovery, a single transient hypervisor fault no\n"
+      "longer takes out both replicas — colocated replication becomes an\n"
+      "attractive design point (22 ms pause instead of losing the host).\n");
+  return 0;
+}

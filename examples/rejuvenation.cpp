@@ -1,0 +1,69 @@
+// Proactive rejuvenation vs reactive recovery (related-work discussion,
+// Section VIII / RootHammer): microreboot can be used PROACTIVELY to
+// rejuvenate a healthy hypervisor (rebuilding its heap and timer state
+// from scratch), while microreset is "not useful for rejuvenation" because
+// it reuses almost the entire hypervisor state in place.
+//
+// This example demonstrates that property mechanically: we age the
+// hypervisor heap (fragmentation + a corrupted free-list link that has not
+// yet been exercised, i.e. latent damage), then trigger each mechanism
+// proactively and check whether the latent damage is gone afterwards.
+#include <cstdio>
+
+#include "hv/hypervisor.h"
+#include "recovery/nilihype.h"
+#include "recovery/rehype.h"
+
+using namespace nlh;
+
+namespace {
+
+hw::PlatformConfig Cfg() {
+  hw::PlatformConfig cfg;
+  cfg.num_cpus = 4;
+  return cfg;
+}
+
+template <typename Mechanism>
+void Rejuvenate(const char* label) {
+  hw::Platform platform(Cfg(), 77);
+  hv::Hypervisor hv(platform, hv::HvConfig{});
+  hv.Boot();
+  const hv::DomainId dom = hv.CreateDomainDirect("app", false, 1, 64);
+  hv.StartDomain(dom);
+
+  // Age the system: churn the heap into fragmentation and plant latent
+  // free-list damage (the kind rejuvenation is meant to flush out before
+  // it bites).
+  std::vector<hv::HeapObjectId> objs;
+  for (int i = 0; i < 40; ++i) objs.push_back(hv.heap().Alloc("churn", 2));
+  for (std::size_t i = 0; i < objs.size(); i += 2) hv.heap().Free(objs[i]);
+  hv.heap().CorruptFreeList(/*fatal=*/true);
+  hv.timers(1).CorruptEntry(0, /*push_out=*/true);  // latent lost timer
+
+  std::printf("%-24s before: free-list %s\n", label,
+              hv.heap().CheckFreeListIntegrity() ? "intact" : "DAMAGED");
+
+  Mechanism mech(hv, recovery::EnhancementSet::Full());
+  const recovery::RecoveryReport rep = mech.Recover(0, hv::DetectionKind::kPanic);
+  platform.queue().RunUntil(rep.resumed_at + sim::Milliseconds(10));
+
+  std::printf("%-24s after:  free-list %s   (pause: %.1f ms)\n\n", label,
+              hv.heap().CheckFreeListIntegrity() ? "intact" : "still damaged",
+              sim::ToMillisF(rep.total()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Proactive rejuvenation: flushing latent state damage (Section VIII)\n\n");
+  Rejuvenate<recovery::ReHype>("ReHype (microreboot):");
+  Rejuvenate<recovery::NiLiHype>("NiLiHype (microreset):");
+  std::printf(
+      "Microreboot rebuilds the heap and timer subsystem from scratch, so a\n"
+      "proactive reboot flushes latent damage — at a 713 ms pause.\n"
+      "Microreset reuses the state in place: great for 22 ms *recovery*,\n"
+      "useless for *rejuvenation* — exactly the paper's positioning.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Client-observed availability of a network service across hypervisor
+// failures — the deployment argument of the abstract: with NiLiHype's 22 ms
+// recovery, "service interruption is negligible in most deployment
+// scenarios", while microreboot-scale recovery is very visible.
+//
+// Uses the packaged TargetSystem with the NetBench workload (a 1 kHz
+// request/response client on another host) and reports what the CLIENT sees
+// under each recovery mechanism.
+#include <cstdio>
+
+#include "core/target_system.h"
+
+using namespace nlh;
+
+namespace {
+
+void Serve(const char* label, core::Mechanism mech) {
+  core::RunConfig cfg = core::RunConfig::OneAppVm(guest::BenchmarkKind::kNetBench);
+  cfg.mechanism = mech;
+  cfg.fault = inject::FaultType::kFailstop;
+  cfg.netbench_duration = sim::Milliseconds(2800);
+  cfg.run_deadline = sim::Seconds(5);
+  cfg.seed = 99;
+  core::TargetSystem sys(cfg);
+  const core::RunResult r = sys.Run();
+  const guest::NetPeer* peer = sys.net_peer();
+
+  const double served =
+      100.0 * static_cast<double>(peer->received()) / peer->sent();
+  std::printf("%-24s requests answered: %5.1f%%   worst gap: ", label, served);
+  if (sys.hv().dead()) {
+    std::printf("service never came back (host dead)\n");
+    return;
+  }
+  std::printf("%7.1f ms", sim::ToMillisF(r.net_max_gap));
+  if (r.recoveries > 0) {
+    std::printf("   (recovery: %.1f ms)",
+                sim::ToMillisF(r.first_recovery_latency));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Web-service availability across one hypervisor fault\n"
+      "(client pings at 1 kHz from another host; Section VII-B methodology)\n\n");
+  Serve("no recovery:", core::Mechanism::kNone);
+  Serve("ReHype (microreboot):", core::Mechanism::kReHype);
+  Serve("NiLiHype (microreset):", core::Mechanism::kNiLiHype);
+  std::printf(
+      "\nA 22 ms pause loses ~22 requests of ~2800 (<1%%) — beneath most\n"
+      "clients' timeout thresholds. The 713 ms microreboot pause is very\n"
+      "visible; no recovery loses the host entirely.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// CLR mechanisms for the KV service: restart (microreboot analogue) and
+// microreset, mirroring the structure of the hypervisor mechanisms.
+#pragma once
+
+#include "clr/kv_service.h"
+#include "sim/time.h"
+
+namespace nlh::clr {
+
+struct KvRecoveryReport {
+  sim::Duration latency = 0;
+  int locks_released = 0;
+  int requests_requeued = 0;
+};
+
+// Restart: throw away all volatile state and rebuild the index by replaying
+// the durable journal. Latency grows with the journal (the component-level
+// analogue of ReHype's reboot + state re-integration).
+class KvRestart {
+ public:
+  static KvRecoveryReport Recover(KvService& svc) {
+    KvRecoveryReport rep;
+    rep.locks_released = svc.ReleaseAllLocks();  // fresh process: all clear
+    svc.RebuildIndexFromJournal();
+    rep.requests_requeued = svc.RequeueAbandoned(/*journal_replayed=*/true);
+    // Process restart + replay cost: ~40 ms base + 2 us per journal record.
+    rep.latency = sim::Milliseconds(40) +
+                  sim::Microseconds(2) *
+                      static_cast<std::int64_t>(svc.journal_size());
+    return rep;
+  }
+};
+
+// Microreset: abandon all worker threads in place, then roll forward —
+// release locks, repair index linkage, requeue/acknowledge abandoned
+// requests. Latency is a small constant plus a linkage scan.
+class KvMicroreset {
+ public:
+  static KvRecoveryReport Recover(KvService& svc) {
+    KvRecoveryReport rep;
+    svc.AbandonAllWorkers();
+    rep.locks_released = svc.ReleaseAllLocks();
+    svc.RepairIndexLinkage();
+    rep.requests_requeued = svc.RequeueAbandoned(/*journal_replayed=*/false);
+    rep.latency = sim::Microseconds(300);
+    return rep;
+  }
+};
+
+}  // namespace nlh::clr

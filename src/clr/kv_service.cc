@@ -1,0 +1,305 @@
+#include "clr/kv_service.h"
+
+namespace nlh::clr {
+
+void KvService::Step(const char* what) {
+  (void)what;
+  if (step_hook_) step_hook_();  // may throw (injected fault)
+}
+
+bool KvService::TryLockBucket(Worker& w, int b) {
+  if (bucket_locked_[static_cast<std::size_t>(b)]) {
+    // Ordinary contention spins; a lock stranded by an abandoned worker
+    // never releases, and the component watchdog eventually fires.
+    if (++w.lock_waits > kLockWatchdogTicks) {
+      throw ServicePanic("deadlock on bucket lock " + std::to_string(b));
+    }
+    return false;
+  }
+  w.lock_waits = 0;
+  bucket_locked_[static_cast<std::size_t>(b)] = true;
+  w.lock_held = true;
+  w.locked_bucket = b;
+  return true;
+}
+
+void KvService::UnlockBucket(Worker& w) {
+  if (w.lock_held && w.locked_bucket >= 0) {
+    bucket_locked_[static_cast<std::size_t>(w.locked_bucket)] = false;
+  }
+  w.lock_held = false;
+  w.locked_bucket = -1;
+}
+
+std::int64_t KvService::AllocEntry() {
+  if (!free_entries_.empty()) {
+    const std::int64_t e = free_entries_.back();
+    free_entries_.pop_back();
+    return e;
+  }
+  entries_.push_back(Entry{});
+  return static_cast<std::int64_t>(entries_.size() - 1);
+}
+
+void KvService::Tick() {
+  if (dead_) return;
+  for (Worker& w : workers_) {
+    if (!w.busy) {
+      if (pending_.empty()) continue;
+      w.busy = true;
+      w.req = pending_.front();
+      pending_.pop_front();
+      w.phase = 0;
+      w.journaled = false;
+    }
+    StepWorker(w);
+  }
+}
+
+void KvService::StepWorker(Worker& w) {
+  const int bucket = BucketOf(w.req.key);
+  switch (w.phase) {
+    case 0:  // validate + lock (spins under contention)
+      Step("validate");
+      if (!TryLockBucket(w, bucket)) return;
+      w.phase = 1;
+      return;
+    case 1: {  // index walk
+      Step("walk");
+      w.phase = 2;
+      return;
+    }
+    case 2: {  // journal append (the non-idempotent commit boundary)
+      Step("journal");
+      if (w.req.kind != RequestKind::kGet) {
+        journal_.push_back({w.req.kind, w.req.key, w.req.value});
+        w.journaled = true;
+      }
+      w.phase = 3;
+      return;
+    }
+    case 3: {  // apply to the index
+      Step("apply");
+      std::int64_t* link = &buckets_[static_cast<std::size_t>(bucket)];
+      int walked = 0;
+      std::int64_t found = kNullEntry;
+      while (*link != kNullEntry) {
+        if (*link < 0 || *link >= static_cast<std::int64_t>(entries_.size())) {
+          throw ServicePanic("index chain corrupt in bucket " +
+                             std::to_string(bucket));
+        }
+        if (++walked > 4096) {
+          throw ServicePanic("index chain cycle in bucket " +
+                             std::to_string(bucket));
+        }
+        Entry& e = entries_[static_cast<std::size_t>(*link)];
+        if (e.live && e.key == w.req.key) {
+          found = *link;
+          break;
+        }
+        link = &e.next;
+      }
+      Response resp;
+      resp.id = w.req.id;
+      switch (w.req.kind) {
+        case RequestKind::kPut:
+          if (found != kNullEntry) {
+            entries_[static_cast<std::size_t>(found)].value = w.req.value;
+          } else {
+            const std::int64_t ni = AllocEntry();
+            Entry& e = entries_[static_cast<std::size_t>(ni)];
+            e.key = w.req.key;
+            e.value = w.req.value;
+            e.live = true;
+            e.next = buckets_[static_cast<std::size_t>(bucket)];
+            buckets_[static_cast<std::size_t>(bucket)] = ni;
+          }
+          resp.ok = true;
+          break;
+        case RequestKind::kGet:
+          resp.ok = (found != kNullEntry);
+          if (resp.ok) resp.value = entries_[static_cast<std::size_t>(found)].value;
+          break;
+        case RequestKind::kDelete:
+          if (found != kNullEntry) {
+            entries_[static_cast<std::size_t>(found)].live = false;
+          }
+          resp.ok = true;
+          break;
+      }
+      w.phase = 4;
+      responses_.push_back(resp);
+      return;
+    }
+    case 4:  // unlock + done
+      Step("done");
+      UnlockBucket(w);
+      ++acked_;
+      w.busy = false;
+      return;
+    default:
+      w.busy = false;
+      return;
+  }
+}
+
+void KvService::CorruptBucketChain(std::size_t bucket) {
+  buckets_[bucket % kBuckets] = 0x00dead00;  // wild link
+}
+
+bool KvService::CorruptEntryValue(std::size_t index) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[(index + i) % entries_.size()];
+    if (e.live) {
+      e.value ^= 0x8000000000000001ULL;
+      return true;
+    }
+  }
+  return false;
+}
+
+void KvService::StrandWorkerLock(int worker, int bucket) {
+  Worker& w = workers_[static_cast<std::size_t>(worker)];
+  bucket_locked_[static_cast<std::size_t>(bucket)] = true;
+  w.lock_held = true;
+  w.locked_bucket = bucket;
+}
+
+bool KvService::IndexIntact() const {
+  for (int b = 0; b < kBuckets; ++b) {
+    std::int64_t link = buckets_[static_cast<std::size_t>(b)];
+    int walked = 0;
+    while (link != kNullEntry) {
+      if (link < 0 || link >= static_cast<std::int64_t>(entries_.size())) {
+        return false;
+      }
+      if (++walked > 4096) return false;
+      const Entry& e = entries_[static_cast<std::size_t>(link)];
+      if (e.live && BucketOf(e.key) != b) return false;
+      link = e.next;
+    }
+  }
+  return true;
+}
+
+void KvService::RebuildIndexFromJournal() {
+  // The restart path: throw the whole index away and replay the journal.
+  entries_.clear();
+  free_entries_.clear();
+  buckets_.assign(kBuckets, kNullEntry);
+  for (const JournalRecord& rec : journal_) {
+    const int b = BucketOf(rec.key);
+    // Find existing.
+    std::int64_t link = buckets_[static_cast<std::size_t>(b)];
+    std::int64_t found = kNullEntry;
+    while (link != kNullEntry) {
+      Entry& e = entries_[static_cast<std::size_t>(link)];
+      if (e.live && e.key == rec.key) {
+        found = link;
+        break;
+      }
+      link = e.next;
+    }
+    if (rec.kind == RequestKind::kPut) {
+      if (found != kNullEntry) {
+        entries_[static_cast<std::size_t>(found)].value = rec.value;
+      } else {
+        entries_.push_back(Entry{rec.key, rec.value,
+                                 buckets_[static_cast<std::size_t>(b)], true});
+        buckets_[static_cast<std::size_t>(b)] =
+            static_cast<std::int64_t>(entries_.size() - 1);
+      }
+    } else if (rec.kind == RequestKind::kDelete && found != kNullEntry) {
+      entries_[static_cast<std::size_t>(found)].live = false;
+    }
+  }
+}
+
+int KvService::RepairIndexLinkage() {
+  // Microreset roll-forward: keep the entries (they are trusted storage)
+  // and rebuild only the bucket linkage from them — the analogue of the
+  // hypervisor's frame-descriptor scan.
+  int repaired = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[static_cast<std::size_t>(b)] != kNullEntry) ++repaired;
+    buckets_[static_cast<std::size_t>(b)] = kNullEntry;
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    e.next = kNullEntry;
+    if (!e.live) continue;
+    const int b = BucketOf(e.key);
+    e.next = buckets_[static_cast<std::size_t>(b)];
+    buckets_[static_cast<std::size_t>(b)] = static_cast<std::int64_t>(i);
+  }
+  return repaired;
+}
+
+int KvService::ReleaseAllLocks() {
+  int released = 0;
+  for (bool& l : bucket_locked_) {
+    released += l ? 1 : 0;
+    l = false;
+  }
+  return released;
+}
+
+int KvService::RequeueAbandoned(bool journal_replayed) {
+  int requeued = 0;
+  for (Worker& w : workers_) {
+    if (!w.busy) continue;
+    if (w.journaled) {
+      // The journal append is final: re-running would double-apply it.
+      if (!journal_replayed) {
+        // Microreset roll-forward: make the index reflect the journaled
+        // operation that never got applied.
+        const int b = BucketOf(w.req.key);
+        std::int64_t link = buckets_[static_cast<std::size_t>(b)];
+        std::int64_t found = kNullEntry;
+        while (link != kNullEntry) {
+          Entry& e = entries_[static_cast<std::size_t>(link)];
+          if (e.live && e.key == w.req.key) { found = link; break; }
+          link = e.next;
+        }
+        if (w.req.kind == RequestKind::kPut) {
+          if (found != kNullEntry) {
+            entries_[static_cast<std::size_t>(found)].value = w.req.value;
+          } else {
+            const std::int64_t ni = AllocEntry();
+            Entry& e = entries_[static_cast<std::size_t>(ni)];
+            e.key = w.req.key;
+            e.value = w.req.value;
+            e.live = true;
+            e.next = buckets_[static_cast<std::size_t>(b)];
+            buckets_[static_cast<std::size_t>(b)] = ni;
+          }
+        } else if (w.req.kind == RequestKind::kDelete && found != kNullEntry) {
+          entries_[static_cast<std::size_t>(found)].live = false;
+        }
+      }
+      Response resp;
+      resp.id = w.req.id;
+      resp.ok = true;
+      responses_.push_back(resp);
+      ++acked_;
+    } else {
+      pending_.push_front(w.req);
+      ++requeued;
+    }
+    w.busy = false;
+    w.lock_held = false;
+    w.locked_bucket = -1;
+    w.lock_waits = 0;
+  }
+  return requeued;
+}
+
+void KvService::AbandonAllWorkers() {
+  for (Worker& w : workers_) {
+    // The thread is gone; its lock state in the shared structures remains
+    // (released separately), but the thread-local view is discarded.
+    w.phase = 0;
+  }
+}
+
+}  // namespace nlh::clr

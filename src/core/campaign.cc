@@ -1,0 +1,90 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/target_system.h"
+
+namespace nlh::core {
+
+double Proportion::HalfWidth95() const {
+  if (denom == 0) return 0.0;
+  const double p = Value();
+  return 1.96 * std::sqrt(p * (1.0 - p) / denom);
+}
+
+std::string Proportion::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%% ± %.1f%%", Value() * 100.0,
+                HalfWidth95() * 100.0);
+  return buf;
+}
+
+CampaignResult RunCampaign(const RunConfig& config,
+                           const CampaignOptions& options) {
+  CampaignResult result;
+  result.runs = options.runs;
+
+  std::mutex mu;
+  std::map<std::string, int> reasons;
+  std::atomic<int> next{0};
+
+  int nthreads = options.threads > 0
+                     ? options.threads
+                     : static_cast<int>(std::thread::hardware_concurrency());
+  if (nthreads <= 0) nthreads = 4;
+  nthreads = std::min(nthreads, options.runs);
+
+  auto worker = [&] {
+    while (true) {
+      const int i = next.fetch_add(1);
+      if (i >= options.runs) return;
+      RunConfig cfg = config;
+      cfg.seed = options.seed0 + static_cast<std::uint64_t>(i);
+      TargetSystem sys(cfg);
+      const RunResult r = sys.Run();
+
+      std::lock_guard<std::mutex> lock(mu);
+      switch (r.outcome) {
+        case OutcomeClass::kNonManifested:
+          ++result.non_manifested;
+          break;
+        case OutcomeClass::kSdc:
+          ++result.sdc;
+          break;
+        case OutcomeClass::kDetected:
+          ++result.detected;
+          ++result.success.denom;
+          ++result.no_vm_failures.denom;
+          if (r.success) ++result.success.numer;
+          if (r.no_vm_failures) ++result.no_vm_failures.numer;
+          if (!r.success) {
+            // Key by the first clause of the reason to keep the tally
+            // readable.
+            std::string key = r.failure_reason.substr(
+                0, r.failure_reason.find_first_of(";("));
+            ++reasons[key];
+          }
+          break;
+      }
+      if (options.on_run) options.on_run(i, r);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  result.failure_reasons.assign(reasons.begin(), reasons.end());
+  std::sort(result.failure_reasons.begin(), result.failure_reasons.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return result;
+}
+
+}  // namespace nlh::core

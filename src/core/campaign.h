@@ -1,0 +1,64 @@
+// Campaign runner: many independent fault-injection runs, aggregated with
+// confidence intervals — the simulator-world equivalent of the paper's
+// Campaign Agent (Section VI-C, Figure 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/outcome.h"
+
+namespace nlh::core {
+
+struct Proportion {
+  int numer = 0;
+  int denom = 0;
+  double Value() const {
+    return denom == 0 ? 0.0 : static_cast<double>(numer) / denom;
+  }
+  // Normal-approximation 95% half-width, as the paper reports (+/-).
+  double HalfWidth95() const;
+  std::string ToString() const;  // "95.0% ± 1.4%"
+};
+
+struct CampaignResult {
+  int runs = 0;
+  int non_manifested = 0;
+  int sdc = 0;
+  int detected = 0;
+
+  // Among detected runs:
+  Proportion success;        // successful recovery rate (Figure 2)
+  Proportion no_vm_failures;  // noVMF (Figure 2)
+
+  // Failure-reason tally (recovery-failure analysis, Section VII-A).
+  std::vector<std::pair<std::string, int>> failure_reasons;
+
+  double NonManifestedRate() const {
+    return runs == 0 ? 0 : static_cast<double>(non_manifested) / runs;
+  }
+  double SdcRate() const {
+    return runs == 0 ? 0 : static_cast<double>(sdc) / runs;
+  }
+  double DetectedRate() const {
+    return runs == 0 ? 0 : static_cast<double>(detected) / runs;
+  }
+};
+
+struct CampaignOptions {
+  int runs = 500;
+  std::uint64_t seed0 = 1000;
+  int threads = 0;  // 0 = hardware concurrency
+  // Optional per-run callback (e.g. progress display); called under a lock.
+  std::function<void(int /*index*/, const RunResult&)> on_run;
+};
+
+// Runs `options.runs` independent runs of `config` (seeds seed0, seed0+1,
+// ...) in parallel and aggregates.
+CampaignResult RunCampaign(const RunConfig& config,
+                           const CampaignOptions& options);
+
+}  // namespace nlh::core

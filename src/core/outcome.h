@@ -1,0 +1,65 @@
+// Classification of a single fault-injection run (Section VII-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nlh::core {
+
+// Top-level fate of the injected fault.
+enum class OutcomeClass {
+  kNonManifested,  // benchmarks finished correctly, nothing detected
+  kSdc,            // silent data corruption: wrong output, no detection
+  kDetected,       // a detector fired and recovery was attempted
+};
+
+const char* OutcomeClassName(OutcomeClass c);
+
+struct VmVerdict {
+  std::string name;
+  bool affected = false;   // failure criteria of Section VI-A
+  std::string why;
+};
+
+struct RunResult {
+  OutcomeClass outcome = OutcomeClass::kNonManifested;
+
+  // Detection / recovery.
+  bool detected = false;
+  int recoveries = 0;
+  bool system_dead = false;
+  std::string death_reason;
+  sim::Duration first_recovery_latency = 0;
+
+  // Per-VM verdicts (initial AppVMs only; VM3 reported separately).
+  std::vector<VmVerdict> vms;
+  bool privvm_ok = true;
+
+  // 3AppVM: post-recovery VM creation check (hypervisor operational).
+  bool vm3_attempted = false;
+  bool vm3_ok = false;
+
+  // The paper's success metrics (meaningful when detected):
+  bool success = false;           // <=1 AppVM affected && hv operational
+  bool no_vm_failures = false;    // noVMF: no AppVM affected at all
+  std::string failure_reason;
+
+  // NetBench service measurement (when a NetBench VM is present).
+  sim::Duration net_max_gap = 0;
+  bool net_rate_dropped = false;
+
+  // Hypervisor processing measurement (Figure 3).
+  std::uint64_t hv_cycles = 0;
+  std::uint64_t total_cycles = 0;
+
+  int AffectedVmCount() const {
+    int n = 0;
+    for (const VmVerdict& v : vms) n += v.affected ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace nlh::core

@@ -1,0 +1,436 @@
+#include "core/target_system.h"
+
+#include <algorithm>
+
+#include "recovery/nilihype.h"
+#include "recovery/rehype.h"
+
+namespace nlh::core {
+
+const char* MechanismName(Mechanism m) {
+  switch (m) {
+    case Mechanism::kNone: return "None";
+    case Mechanism::kNiLiHype: return "NiLiHype";
+    case Mechanism::kReHype: return "ReHype";
+  }
+  return "?";
+}
+
+const char* OutcomeClassName(OutcomeClass c) {
+  switch (c) {
+    case OutcomeClass::kNonManifested: return "non-manifested";
+    case OutcomeClass::kSdc: return "SDC";
+    case OutcomeClass::kDetected: return "detected";
+  }
+  return "?";
+}
+
+TargetSystem::TargetSystem(const RunConfig& config)
+    : config_(config), run_rng_(config.seed ^ 0xa5a5a5a5ULL) {
+  Build();
+}
+
+TargetSystem::~TargetSystem() = default;
+
+void TargetSystem::Build() {
+  platform_ = std::make_unique<hw::Platform>(config_.platform, config_.seed);
+  hv_ = std::make_unique<hv::Hypervisor>(*platform_, config_.MakeHvConfig());
+  hv_->Boot();
+
+  // Detection + recovery.
+  hang_ = std::make_unique<detect::HangDetector>(*hv_);
+  hang_->Install();
+  std::unique_ptr<recovery::RecoveryMechanism> mech;
+  switch (config_.mechanism) {
+    case Mechanism::kNiLiHype:
+      mech = std::make_unique<recovery::NiLiHype>(*hv_, config_.enhancements,
+                                                  config_.latency_model);
+      break;
+    case Mechanism::kReHype:
+      mech = std::make_unique<recovery::ReHype>(*hv_, config_.enhancements,
+                                                config_.latency_model);
+      break;
+    case Mechanism::kNone:
+      break;
+  }
+  manager_ = std::make_unique<recovery::RecoveryManager>(*hv_, std::move(mech),
+                                                         hang_.get());
+  manager_->Install();
+
+  // PrivVM (Dom0) on CPU 0 with the device backends.
+  const hv::DomainId priv_id =
+      hv_->CreateDomainDirect("PrivVM", /*privileged=*/true, /*cpu=*/0,
+                              /*frames=*/128);
+  privvm_ = std::make_unique<guest::PrivVmKernel>(*hv_, config_.seed ^ 0x111);
+  privvm_->Bind(priv_id, hv_->FindDomain(priv_id)->vcpus.front());
+  hv_->AttachGuest(priv_id, privvm_.get());
+
+  disk_ = std::make_unique<guest::VirtualDisk>(*platform_, /*irq_cpu=*/0);
+  privvm_->AttachDisk(disk_.get());
+  // Block device IRQ -> PrivVM event port.
+  {
+    hv::Domain* priv = hv_->FindDomain(priv_id);
+    const hv::EventPort p =
+        priv->evtchn.AllocUnbound(priv_id, priv->vcpus.front());
+    hv_->BindDeviceVector(hw::vec::kBlk, priv_id, p);
+  }
+
+  // The toolstack factory builds BlkBench VMs created at runtime (VM3).
+  privvm_->SetVmFactory([this](hv::DomainId created) {
+    auto vm = std::make_unique<guest::AppVmKernel>(
+        *hv_, "BlkBench-VM3", config_.seed ^ 0x333,
+        guest::BenchmarkKind::kBlkBench, config_.vm3_blkbench_files);
+    vm->Bind(created, hv_->FindDomain(created)->vcpus.front());
+    hv_->AttachGuest(created, vm.get());
+    WireBlk(vm.get());
+    vm3_ = vm.get();
+    vm3_created_ = true;
+    appvms_.push_back(std::move(vm));
+  });
+
+  // Initial AppVMs.
+  if (config_.setup == Setup::k1AppVM) {
+    const int iters = (config_.bench_1appvm == guest::BenchmarkKind::kBlkBench)
+                          ? config_.blkbench_files
+                          : config_.unixbench_iterations;
+    AddAppVm(config_.bench_1appvm, iters, /*cpu=*/1, /*via_toolstack=*/false);
+    initial_appvm_count_ = 1;
+  } else {
+    AddAppVm(guest::BenchmarkKind::kUnixBench, config_.unixbench_iterations,
+             /*cpu=*/1, /*via_toolstack=*/false);
+    AddAppVm(guest::BenchmarkKind::kNetBench, /*iterations=*/1 << 30,
+             /*cpu=*/config_.share_cpu ? 1 : 2, /*via_toolstack=*/false);
+    initial_appvm_count_ = 2;
+    if (config_.vm3_at_start) {
+      AddAppVm(guest::BenchmarkKind::kBlkBench, config_.blkbench_files,
+               /*cpu=*/3, /*via_toolstack=*/false);
+      initial_appvm_count_ = 3;
+      vm3_attempted_ = true;  // no post-recovery creation in this variant
+    }
+  }
+
+  hv_->StartDomain(priv_id);
+  for (auto& vm : appvms_) hv_->StartDomain(vm->domain());
+
+  if (peer_ != nullptr) {
+    // Let the system settle briefly, then ping for the configured duration.
+    platform_->queue().ScheduleAt(sim::Milliseconds(50), [this] {
+      peer_->Start(platform_->Now() + config_.netbench_duration);
+    });
+  }
+
+  if (config_.inject) ArmInjection();
+
+  // Campaign-agent-style watcher: once the first recovery has resumed,
+  // create the post-recovery BlkBench VM (3AppVM setup, Section VI-A).
+  if (config_.setup == Setup::k3AppVM) {
+    struct Watcher {
+      TargetSystem* sys;
+      void operator()() const {
+        TargetSystem* s = sys;
+        if (!s->vm3_attempted_ && s->manager_ != nullptr &&
+            !s->manager_->reports().empty()) {
+          const auto& rep = s->manager_->reports().front();
+          if (!rep.gave_up &&
+              s->platform_->Now() >= rep.resumed_at + sim::Milliseconds(100)) {
+            s->TriggerVm3Creation();
+            return;  // done watching
+          }
+        }
+        if (s->hv_->dead()) return;
+        s->platform_->queue().ScheduleAfter(sim::Milliseconds(50), Watcher{s});
+      }
+    };
+    platform_->queue().ScheduleAfter(sim::Milliseconds(50), Watcher{this});
+  }
+}
+
+guest::AppVmKernel* TargetSystem::AddAppVm(guest::BenchmarkKind kind,
+                                           int iterations, hw::CpuId cpu,
+                                           bool via_toolstack,
+                                           hv::DomainId precreated) {
+  (void)via_toolstack;
+  hv::DomainId id = precreated;
+  if (id == hv::kInvalidDomain) {
+    id = hv_->CreateDomainDirect(std::string(guest::BenchmarkName(kind)),
+                                 /*privileged=*/false, cpu, /*frames=*/64);
+  }
+  auto vm = std::make_unique<guest::AppVmKernel>(
+      *hv_, guest::BenchmarkName(kind),
+      config_.seed ^ (0x1000ULL + static_cast<std::uint64_t>(id)), kind,
+      iterations, config_.appvm_mode);
+  vm->Bind(id, hv_->FindDomain(id)->vcpus.front());
+  hv_->AttachGuest(id, vm.get());
+  if (kind == guest::BenchmarkKind::kBlkBench) WireBlk(vm.get());
+  if (kind == guest::BenchmarkKind::kNetBench) WireNet(vm.get());
+  guest::AppVmKernel* raw = vm.get();
+  appvms_.push_back(std::move(vm));
+  return raw;
+}
+
+std::pair<hv::EventPort, hv::EventPort> TargetSystem::BindPorts(
+    hv::DomainId app) {
+  hv::Domain* ad = hv_->FindDomain(app);
+  hv::Domain* pd = hv_->FindDomain(hv::kPrivVmId);
+  const hv::EventPort p_app =
+      ad->evtchn.AllocUnbound(hv::kPrivVmId, ad->vcpus.front());
+  const hv::EventPort p_priv = pd->evtchn.AllocUnbound(app, pd->vcpus.front());
+  ad->evtchn.BindInterdomain(p_app, hv::kPrivVmId, p_priv);
+  pd->evtchn.BindInterdomain(p_priv, app, p_app);
+  return {p_app, p_priv};
+}
+
+void TargetSystem::WireBlk(guest::AppVmKernel* vm) {
+  BlkWiring w;
+  w.ring = std::make_unique<guest::BlkRing>();
+  const auto [p_app, p_priv] = BindPorts(vm->domain());
+  vm->ConnectBlk(w.ring.get(), p_app);
+  privvm_->ConnectBlkFrontend(vm->domain(), w.ring.get(), p_priv);
+  blk_wirings_.push_back(std::move(w));
+}
+
+void TargetSystem::WireNet(guest::AppVmKernel* vm) {
+  if (nic_ == nullptr) {
+    nic_ = std::make_unique<guest::VirtualNic>(*platform_, /*irq_cpu=*/0);
+    privvm_->AttachNic(nic_.get());
+    peer_ = std::make_unique<guest::NetPeer>(*platform_, *nic_);
+    hv::Domain* priv = hv_->FindDomain(hv::kPrivVmId);
+    const hv::EventPort p =
+        priv->evtchn.AllocUnbound(hv::kPrivVmId, priv->vcpus.front());
+    hv_->BindDeviceVector(hw::vec::kNet, hv::kPrivVmId, p);
+  }
+  NetWiring w;
+  w.rx = std::make_unique<guest::NetRxRing>();
+  w.tx = std::make_unique<guest::NetTxRing>();
+  const auto [p_app, p_priv] = BindPorts(vm->domain());
+  vm->ConnectNet(w.rx.get(), w.tx.get(), p_app);
+  // Pre-grant the packet buffer frames the backend copies through.
+  hv::Domain* ad = hv_->FindDomain(vm->domain());
+  const hv::GrantRef rx_gref =
+      ad->grants.TryGrant(hv::kPrivVmId, ad->first_frame + 60);
+  const hv::GrantRef tx_gref =
+      ad->grants.TryGrant(hv::kPrivVmId, ad->first_frame + 61);
+  privvm_->ConnectNetFrontend(vm->domain(), w.rx.get(), w.tx.get(), p_priv,
+                              rx_gref, tx_gref);
+  net_wirings_.push_back(std::move(w));
+}
+
+void TargetSystem::ArmInjection() {
+  inject::CorruptionHooks hooks;
+  hooks.corrupt_privvm = [this] { privvm_->CorruptKernelState(); };
+  hooks.corrupt_random_appvm_memory = [this] {
+    std::vector<guest::AppVmKernel*> alive;
+    for (auto& vm : appvms_) {
+      if (!vm->crashed()) alive.push_back(vm.get());
+    }
+    if (alive.empty()) return;
+    guest::AppVmKernel* victim = alive[run_rng_.Index(alive.size())];
+    victim->OnMemoryCorrupted(victim->vcpu_id());
+  };
+  injector_ = std::make_unique<inject::FaultInjector>(*hv_, std::move(hooks),
+                                                      config_.seed ^ 0x777);
+  inject::InjectionPlan plan;
+  plan.type = config_.fault;
+  plan.first_trigger = config_.inject_window_start +
+                       run_rng_.Range(0, config_.inject_window_end -
+                                             config_.inject_window_start);
+  plan.second_trigger_instructions =
+      static_cast<std::uint64_t>(run_rng_.Range(0, 20000));
+  injector_->Arm(plan);
+}
+
+void TargetSystem::TriggerVm3Creation() {
+  if (vm3_attempted_) return;
+  vm3_attempted_ = true;
+  privvm_->RequestCreateVm(/*pin_cpu=*/3, /*frames=*/64,
+                           [](hv::DomainId) {});
+}
+
+void TargetSystem::RunUntil(sim::Time t) { platform_->queue().RunUntil(t); }
+
+RunResult TargetSystem::Run() {
+  auto& queue = platform_->queue();
+  std::uint64_t n = 0;
+  while (!queue.Empty() && queue.NextTime() <= config_.run_deadline) {
+    queue.RunOne();
+    if ((++n & 0x3fff) == 0 && hv_->dead()) {
+      // Nothing else can change once the platform is dead, except pending
+      // timers; stop early.
+      break;
+    }
+  }
+  return Classify();
+}
+
+RunResult TargetSystem::Classify() {
+  RunResult r;
+  r.detected = hv_->stats().detections > 0;
+  r.recoveries =
+      manager_ != nullptr ? static_cast<int>(manager_->reports().size()) : 0;
+  r.system_dead = hv_->dead();
+  r.death_reason = hv_->death_reason();
+  if (r.recoveries > 0) {
+    r.first_recovery_latency = manager_->reports().front().total();
+  }
+  r.privvm_ok = !privvm_->crashed();
+
+  // Recovery window (for the NetBench rate criterion).
+  sim::Time rec_from = -1;
+  sim::Time rec_to = -1;
+  if (config_.netbench_exclude_recovery_window && r.recoveries > 0) {
+    rec_from = std::max<sim::Time>(
+        0, manager_->reports().front().detected_at - sim::Milliseconds(400));
+    rec_to = manager_->reports().front().resumed_at + sim::Milliseconds(400);
+  }
+
+  // Per-VM verdicts for the initial AppVMs.
+  for (int i = 0; i < initial_appvm_count_; ++i) {
+    const guest::AppVmKernel& vm = *appvms_[static_cast<std::size_t>(i)];
+    VmVerdict v;
+    v.name = vm.name();
+    if (vm.crashed()) {
+      v.affected = true;
+      v.why = "kernel crash: " + vm.crash_reason();
+    } else if (vm.memory_corrupted()) {
+      v.affected = true;
+      v.why = "output differs from golden copy";
+    } else if (vm.syscall_failures() > 0) {
+      v.affected = true;
+      v.why = "failed system calls logged";
+    } else if (vm.io_errors() > 0) {
+      v.affected = true;
+      v.why = "I/O errors";
+    } else if (vm.process_failed()) {
+      v.affected = true;
+      v.why = "benchmark process failed";
+    } else if (vm.kind() == guest::BenchmarkKind::kNetBench) {
+      if (peer_ != nullptr) {
+        r.net_max_gap = peer_->MaxGap();
+        const double period = static_cast<double>(peer_->period());
+        const double window_loss =
+            (rec_from >= 0)
+                ? static_cast<double>(rec_to - rec_from) / period
+                : 0.0;
+        const double expected =
+            static_cast<double>(peer_->sent()) - window_loss;
+        r.net_rate_dropped =
+            peer_->RateDropped(0.10, rec_from, rec_to) ||
+            static_cast<double>(peer_->received()) < expected * 0.90;
+        if (r.net_rate_dropped) {
+          v.affected = true;
+          v.why = "packet reception rate dropped >10%";
+        }
+      }
+    } else if (!vm.BenchmarkDone()) {
+      v.affected = true;
+      v.why = "benchmark did not complete (" +
+              std::to_string(vm.iterations_done()) + "/" +
+              std::to_string(vm.iterations_target()) + ")";
+    }
+    r.vms.push_back(std::move(v));
+  }
+
+  // VM3 (3AppVM hypervisor-operational check).
+  r.vm3_attempted = vm3_attempted_;
+  r.vm3_ok = vm3_created_ && vm3_ != nullptr && vm3_->BenchmarkDone() &&
+             !vm3_->Affected();
+
+  // Cycle accounting (Figure 3 measurements use inject=false runs).
+  for (int c = 0; c < platform_->num_cpus(); ++c) {
+    r.hv_cycles += platform_->cpu(c).hv_instructions();
+    r.total_cycles += platform_->cpu(c).total_cycles();
+  }
+
+  // Outcome class.
+  const bool any_affected = r.AffectedVmCount() > 0 || !r.privvm_ok;
+  if (r.detected) {
+    r.outcome = OutcomeClass::kDetected;
+  } else {
+    r.outcome = any_affected ? OutcomeClass::kSdc : OutcomeClass::kNonManifested;
+  }
+
+  // Success metrics (Section VII-A definitions).
+  if (r.detected) {
+    if (config_.setup == Setup::k3AppVM) {
+      r.success = !r.system_dead && r.privvm_ok && r.AffectedVmCount() <= 1 &&
+                  r.vm3_ok;
+      r.no_vm_failures = r.success && r.AffectedVmCount() == 0;
+    } else {
+      r.success = !r.system_dead && r.privvm_ok && r.AffectedVmCount() == 0;
+      r.no_vm_failures = r.success;
+    }
+    if (!r.success) {
+      if (r.system_dead) {
+        r.failure_reason = "system dead: " + r.death_reason;
+      } else if (!r.privvm_ok) {
+        r.failure_reason = "PrivVM failed";
+      } else if (config_.setup == Setup::k3AppVM && !r.vm3_ok) {
+        r.failure_reason = vm3_attempted_
+                               ? "post-recovery VM creation/BlkBench failed"
+                               : "VM3 never attempted";
+      } else {
+        r.failure_reason = "too many AppVMs affected";
+        for (const VmVerdict& v : r.vms) {
+          if (v.affected) r.failure_reason += "; " + v.name + ": " + v.why;
+        }
+      }
+    }
+  }
+  BuildTimeline(r);
+  return r;
+}
+
+void TargetSystem::BuildTimeline(const RunResult& r) {
+  if (!timeline_.enabled()) return;
+  timeline_.Add(0, "system",
+                std::string("boot: ") + MechanismName(config_.mechanism) +
+                    ", seed " + std::to_string(config_.seed));
+  if (injector_ != nullptr && injector_->record().fired) {
+    const inject::InjectionRecord& rec = injector_->record();
+    std::string what = std::string(inject::FaultTypeName(config_.fault)) +
+                       " fault fired on cpu" + std::to_string(rec.cpu);
+    switch (rec.manifestation) {
+      case inject::Manifestation::kNone: what += " (never manifested)"; break;
+      case inject::Manifestation::kSdc: what += " (silent corruption)"; break;
+      case inject::Manifestation::kImmediatePanic: what += " (immediate panic)"; break;
+      case inject::Manifestation::kDelayedPanic:
+        what += " (" + std::to_string(rec.corruptions.size()) +
+                " corruptions, delayed detection)";
+        break;
+      case inject::Manifestation::kHang: what += " (livelock)"; break;
+    }
+    timeline_.Add(rec.fired_at, "inject", what);
+  }
+  if (manager_ != nullptr) {
+    for (const recovery::RecoveryReport& rep : manager_->reports()) {
+      timeline_.Add(rep.detected_at, "detect",
+                    rep.kind == hv::DetectionKind::kPanic ? "panic detected"
+                                                          : "hang detected");
+      for (const recovery::StepLatency& step : rep.steps) {
+        timeline_.Add(rep.detected_at, "recover",
+                      step.name + " (" +
+                          std::to_string(sim::ToMicros(step.latency)) + " us)");
+      }
+      if (rep.gave_up) {
+        timeline_.Add(rep.detected_at, "recover",
+                      "GAVE UP: " + rep.give_up_reason);
+      } else {
+        timeline_.Add(rep.resumed_at, "recover", "system resumed");
+      }
+    }
+  }
+  for (const VmVerdict& v : r.vms) {
+    timeline_.Add(platform_->Now(), "vm",
+                  v.name + ": " + (v.affected ? "AFFECTED — " + v.why : "ok"));
+  }
+  if (r.vm3_attempted) {
+    timeline_.Add(platform_->Now(), "vm",
+                  std::string("post-recovery VM creation check: ") +
+                      (r.vm3_ok ? "passed" : "FAILED"));
+  }
+  if (r.system_dead) {
+    timeline_.Add(platform_->Now(), "system", "platform dead: " + r.death_reason);
+  }
+}
+
+}  // namespace nlh::core

@@ -1,0 +1,111 @@
+// TargetSystem: builds and runs one complete simulated virtualized host —
+// platform, hypervisor, PrivVM with backends, AppVMs with benchmarks,
+// detectors, a recovery mechanism, and optionally one injected fault — and
+// classifies the outcome per the paper's criteria.
+//
+// This is the library's main entry point:
+//
+//   core::RunConfig cfg;                    // 3AppVM, NiLiHype, failstop
+//   cfg.seed = 42;
+//   core::TargetSystem sys(cfg);
+//   core::RunResult r = sys.Run();
+//
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/outcome.h"
+#include "core/timeline.h"
+#include "detect/hang_detector.h"
+#include "guest/appvm.h"
+#include "guest/devices.h"
+#include "guest/privvm.h"
+#include "hv/hypervisor.h"
+#include "hw/platform.h"
+#include "inject/injector.h"
+#include "recovery/manager.h"
+
+namespace nlh::core {
+
+class TargetSystem {
+ public:
+  explicit TargetSystem(const RunConfig& config);
+  ~TargetSystem();
+
+  TargetSystem(const TargetSystem&) = delete;
+  TargetSystem& operator=(const TargetSystem&) = delete;
+
+  // Runs the configured scenario to its deadline and classifies the result.
+  RunResult Run();
+
+  // Enables run-timeline recording (off by default; see core/timeline.h).
+  void EnableTimeline() { timeline_.Enable(); }
+  const Timeline& timeline() const { return timeline_; }
+
+  // --- Component access (tests, examples, benches) --------------------------
+  hw::Platform& platform() { return *platform_; }
+  hv::Hypervisor& hv() { return *hv_; }
+  guest::PrivVmKernel& privvm() { return *privvm_; }
+  recovery::RecoveryManager* recovery_manager() { return manager_.get(); }
+  const std::vector<std::unique_ptr<guest::AppVmKernel>>& appvms() const {
+    return appvms_;
+  }
+  guest::NetPeer* net_peer() { return peer_.get(); }
+  const inject::InjectionRecord* injection() const {
+    return injector_ ? &injector_->record() : nullptr;
+  }
+
+  // Runs the event queue up to `t` without classifying (tests/examples).
+  void RunUntil(sim::Time t);
+
+  // Issues the post-recovery VM-creation check manually (normally triggered
+  // automatically at first recovery resume in the 3AppVM setup).
+  void TriggerVm3Creation();
+
+ private:
+  struct BlkWiring {
+    std::unique_ptr<guest::BlkRing> ring;
+  };
+  struct NetWiring {
+    std::unique_ptr<guest::NetRxRing> rx;
+    std::unique_ptr<guest::NetTxRing> tx;
+  };
+
+  void Build();
+  guest::AppVmKernel* AddAppVm(guest::BenchmarkKind kind, int iterations,
+                               hw::CpuId cpu, bool via_toolstack,
+                               hv::DomainId precreated = hv::kInvalidDomain);
+  void WireBlk(guest::AppVmKernel* vm);
+  void WireNet(guest::AppVmKernel* vm);
+  // Creates a pair of bound interdomain event ports; returns {app_port,
+  // priv_port}.
+  std::pair<hv::EventPort, hv::EventPort> BindPorts(hv::DomainId app);
+  void ArmInjection();
+  RunResult Classify();
+  void BuildTimeline(const RunResult& r);
+
+  RunConfig config_;
+  std::unique_ptr<hw::Platform> platform_;
+  std::unique_ptr<hv::Hypervisor> hv_;
+  std::unique_ptr<detect::HangDetector> hang_;
+  std::unique_ptr<recovery::RecoveryManager> manager_;
+  std::unique_ptr<guest::VirtualDisk> disk_;
+  std::unique_ptr<guest::VirtualNic> nic_;
+  std::unique_ptr<guest::NetPeer> peer_;
+  std::unique_ptr<guest::PrivVmKernel> privvm_;
+  std::vector<std::unique_ptr<guest::AppVmKernel>> appvms_;
+  std::vector<BlkWiring> blk_wirings_;
+  std::vector<NetWiring> net_wirings_;
+  std::unique_ptr<inject::FaultInjector> injector_;
+  sim::Rng run_rng_;
+
+  Timeline timeline_;
+  guest::AppVmKernel* vm3_ = nullptr;
+  bool vm3_attempted_ = false;
+  bool vm3_created_ = false;
+  int initial_appvm_count_ = 0;
+};
+
+}  // namespace nlh::core

@@ -1,0 +1,48 @@
+// Run timeline: a structured record of what happened during a run, for
+// debugging campaigns and for human-readable run reports.
+//
+// Campaigns keep this off (zero overhead); single-run tools (quickstart,
+// campaign_tool --verbose, replayed failures) enable it to see the exact
+// sequence: injection -> manifestation -> detection -> recovery steps ->
+// resume -> benchmark verdicts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nlh::core {
+
+struct TimelineEvent {
+  sim::Time at = 0;
+  std::string category;  // "inject", "detect", "recover", "vm", "system"
+  std::string text;
+};
+
+class Timeline {
+ public:
+  void Enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  void Add(sim::Time at, std::string category, std::string text) {
+    if (!enabled_) return;
+    events_.push_back({at, std::move(category), std::move(text)});
+  }
+
+  const std::vector<TimelineEvent>& events() const { return events_; }
+
+  void Print(std::FILE* out = stdout) const {
+    for (const TimelineEvent& e : events_) {
+      std::fprintf(out, "  [%10.3f ms] %-8s %s\n", sim::ToMillisF(e.at),
+                   e.category.c_str(), e.text.c_str());
+    }
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace nlh::core

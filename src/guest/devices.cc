@@ -1,0 +1,28 @@
+#include "guest/devices.h"
+
+#include <algorithm>
+
+namespace nlh::guest {
+
+bool NetPeer::RateDropped(double threshold, sim::Time exclude_from,
+                          sim::Time exclude_to) const {
+  if (reply_times_.empty()) return sent_ > 0;
+  const double nominal_per_sec =
+      static_cast<double>(sim::kSecond) / static_cast<double>(period_);
+
+  const sim::Time start = reply_times_.front();
+  const sim::Time end = reply_times_.back();
+  for (sim::Time w = start; w + sim::kSecond <= end; w += sim::kSecond / 4) {
+    const sim::Time w_end = w + sim::kSecond;
+    if (exclude_from >= 0 && w < exclude_to && w_end > exclude_from) {
+      continue;  // window overlaps the excluded recovery interval
+    }
+    const auto lo = std::lower_bound(reply_times_.begin(), reply_times_.end(), w);
+    const auto hi = std::lower_bound(reply_times_.begin(), reply_times_.end(), w_end);
+    const double got = static_cast<double>(hi - lo);
+    if (got < nominal_per_sec * (1.0 - threshold)) return true;
+  }
+  return false;
+}
+
+}  // namespace nlh::guest

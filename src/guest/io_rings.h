@@ -1,0 +1,77 @@
+// Shared-memory I/O rings between frontends (AppVMs) and backends (PrivVM).
+//
+// Models the Xen PV split-driver protocol: the frontend pushes requests
+// carrying grant references, kicks the backend through an event channel,
+// and the backend pushes responses back. The ring itself is shared guest
+// memory, so it survives hypervisor recovery untouched — which is exactly
+// why retried/duplicated backend hypercalls are detectable by sequence
+// mismatches at this layer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hv/types.h"
+#include "sim/time.h"
+
+namespace nlh::guest {
+
+struct BlkRequest {
+  std::uint64_t id = 0;
+  bool write = false;
+  hv::GrantRef gref = hv::kInvalidGrant;
+  std::uint64_t frame_index = 0;  // frontend-relative frame
+};
+
+struct BlkResponse {
+  std::uint64_t id = 0;
+  bool ok = true;
+};
+
+struct NetPacket {
+  std::uint64_t seq = 0;
+  sim::Time sent_at = 0;
+};
+
+// A simple bidirectional ring. Depth-bounded like real rings; a full ring
+// makes the producer wait (frontends block, devices drop).
+template <typename Req, typename Resp>
+struct SharedRing {
+  static constexpr std::size_t kDepth = 32;
+
+  std::deque<Req> requests;
+  std::deque<Resp> responses;
+  std::uint64_t req_produced = 0;
+  std::uint64_t resp_produced = 0;
+
+  bool PushRequest(const Req& r) {
+    if (requests.size() >= kDepth) return false;
+    requests.push_back(r);
+    ++req_produced;
+    return true;
+  }
+  bool PopRequest(Req* out) {
+    if (requests.empty()) return false;
+    *out = requests.front();
+    requests.pop_front();
+    return true;
+  }
+  bool PushResponse(const Resp& r) {
+    if (responses.size() >= kDepth) return false;
+    responses.push_back(r);
+    ++resp_produced;
+    return true;
+  }
+  bool PopResponse(Resp* out) {
+    if (responses.empty()) return false;
+    *out = responses.front();
+    responses.pop_front();
+    return true;
+  }
+};
+
+using BlkRing = SharedRing<BlkRequest, BlkResponse>;
+using NetRxRing = SharedRing<NetPacket, NetPacket>;  // responses unused
+using NetTxRing = SharedRing<NetPacket, NetPacket>;
+
+}  // namespace nlh::guest

@@ -1,0 +1,128 @@
+// The privileged VM (Dom0): PV block/net backends and the toolstack.
+//
+// The PrivVM hosts the device drivers (Section III-A): it maps frontend
+// grants, drives the virtual disk and NIC, and pushes responses back
+// through the shared rings. It also runs the toolstack, which creates new
+// domains via domctl hypercalls — the post-recovery VM-creation check of
+// the 3AppVM setup goes through this exact path.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "guest/devices.h"
+#include "guest/guest_kernel.h"
+#include "guest/io_rings.h"
+
+namespace nlh::guest {
+
+class PrivVmKernel : public GuestKernel {
+ public:
+  PrivVmKernel(hv::Hypervisor& hv, std::uint64_t seed)
+      : GuestKernel(hv, "PrivVM", seed) {}
+
+  void AttachDisk(VirtualDisk* disk) { disk_ = disk; }
+  void AttachNic(VirtualNic* nic) { nic_ = nic; }
+
+  // Connects a frontend's block ring. `notify_port` is the PrivVM-local
+  // event port used to kick the frontend with responses.
+  void ConnectBlkFrontend(hv::DomainId frontend, BlkRing* ring,
+                          hv::EventPort notify_port);
+  // `rx_gref`/`tx_gref` are the frontend's pre-granted packet buffers the
+  // backend grant-copies through.
+  void ConnectNetFrontend(hv::DomainId frontend, NetRxRing* rx, NetTxRing* tx,
+                          hv::EventPort notify_port, hv::GrantRef rx_gref,
+                          hv::GrantRef tx_gref);
+
+  // --- Toolstack -----------------------------------------------------------
+  // Factory invoked after domctl_create returns, to build and attach the
+  // new VM's guest kernel (owned by the caller/core layer).
+  using VmFactory = std::function<void(hv::DomainId)>;
+  void SetVmFactory(VmFactory factory) { vm_factory_ = std::move(factory); }
+  // Asks the toolstack to create a VM; `done` fires after unpause.
+  void RequestCreateVm(hw::CpuId pin_cpu, std::uint64_t frames,
+                       std::function<void(hv::DomainId)> done);
+  bool create_in_progress() const { return create_.active; }
+
+  // Fault-injection surface: a wild hypervisor write into PrivVM state
+  // crashes the PrivVM kernel the next time it runs.
+  void CorruptKernelState() { kernel_state_corrupted_ = true; }
+
+  std::uint64_t ios_served() const { return ios_served_; }
+  std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+  // Times an RX push hit a full frontend ring and had to be retried.
+  std::uint64_t rx_ring_backpressure() const { return rx_ring_backpressure_; }
+
+ protected:
+  void OnRun(sim::Duration budget) override;
+  void OnEvents(std::uint64_t bits) override;
+
+ private:
+  struct BlkConn {
+    hv::DomainId frontend = hv::kInvalidDomain;
+    BlkRing* ring = nullptr;
+    hv::EventPort notify_port = hv::kInvalidPort;
+  };
+  struct NetConn {
+    hv::DomainId frontend = hv::kInvalidDomain;
+    NetRxRing* rx = nullptr;
+    NetTxRing* tx = nullptr;
+    hv::EventPort notify_port = hv::kInvalidPort;
+    hv::GrantRef rx_gref = hv::kInvalidGrant;
+    hv::GrantRef tx_gref = hv::kInvalidGrant;
+  };
+
+  // One in-flight backend operation (sequential pipeline).
+  struct BlkOp {
+    bool active = false;
+    int conn = -1;
+    BlkRequest req;
+    int phase = 0;  // 0 map, 1 wait disk, 2 copy, 3 unmap, 4 respond, 5 kick
+    std::uint64_t disk_tag = 0;
+    bool disk_done = false;
+  };
+  // Independent RX and TX pipelines, as in real netback: RX backpressure
+  // must not stop TX draining (the frontend may be blocked on exactly that).
+  struct NetOp {
+    bool active = false;
+    int conn = -1;
+    NetPacket pkt;
+    int phase = 0;  // rx: 0 copy, 1 push, 2 kick; tx: 0 copy, 1 transmit
+  };
+  struct CreateOp {
+    bool active = false;
+    int phase = 0;  // 0 create, 1 attach, 2 unpause, 3 done
+    hw::CpuId pin_cpu = 0;
+    std::uint64_t frames = 64;
+    hv::DomainId created = hv::kInvalidDomain;
+    std::function<void(hv::DomainId)> done;
+  };
+
+  bool AdvanceBlkOp();   // returns false when it must back off (trap pending)
+  bool AdvanceNetRxOp();
+  bool AdvanceNetTxOp();
+  bool AdvanceCreateOp();
+  bool PickWork();
+
+  VirtualDisk* disk_ = nullptr;
+  VirtualNic* nic_ = nullptr;
+  std::vector<BlkConn> blk_conns_;
+  std::vector<NetConn> net_conns_;
+  VmFactory vm_factory_;
+
+  BlkOp blk_op_;
+  NetOp net_rx_op_;
+  NetOp net_tx_op_;
+  CreateOp create_;
+  std::uint64_t next_disk_tag_ = 1;
+  std::uint64_t ios_served_ = 0;
+  std::uint64_t packets_forwarded_ = 0;
+  std::uint64_t ops_since_rebalance_ = 0;
+  std::uint64_t rx_ring_backpressure_ = 0;
+  bool rebalance_pending_ = false;
+  bool kernel_state_corrupted_ = false;
+};
+
+}  // namespace nlh::guest

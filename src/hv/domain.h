@@ -1,0 +1,66 @@
+// Domains (VMs) as the hypervisor sees them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/event_channel.h"
+#include "hv/grant_table.h"
+#include "hv/heap.h"
+#include "hv/types.h"
+
+namespace nlh::hv {
+
+class GuestInterface;
+
+enum class DomainLifecycle : std::uint8_t {
+  kCreating = 0,
+  kRunning,
+  kShutdown,
+  kDead,
+};
+
+struct Domain {
+  DomainId id = kInvalidDomain;
+  std::string name;
+  bool is_privileged = false;  // the PrivVM / Dom0
+  DomainLifecycle lifecycle = DomainLifecycle::kCreating;
+
+  std::vector<VcpuId> vcpus;
+
+  // Guest memory: the frames backing this domain (a representative sample
+  // of its allocation; see frame_table.h scale note).
+  FrameNumber first_frame = kInvalidFrame;
+  std::uint64_t num_frames = 0;
+  // Frames acquired at runtime via memory_op increase_reservation.
+  std::vector<FrameNumber> extra_frames;
+  // Present bit of the guest PTE covering each frame of the base range
+  // (index = frame - first_frame). mmu_update(map) requires absent,
+  // mmu_update(unmap) requires present — re-executing a completed update
+  // therefore fails exactly like Xen's PTE validation would.
+  std::vector<bool> pte_present;
+
+  EventChannelTable evtchn;
+  GrantTable grants;
+
+  // Heap objects backing struct domain, the grant table, and the event
+  // channel buckets. Each embeds a lock; recovery's "release all locks
+  // stored in the heap" step (Section V-A) iterates these.
+  HeapObjectId struct_obj = kInvalidHeapObject;
+  HeapObjectId grant_obj = kInvalidHeapObject;
+  HeapObjectId evtchn_obj = kInvalidHeapObject;
+
+  // Models a stray write into this domain's hypervisor-side structures.
+  bool struct_corrupted = false;
+
+  // Non-owning; set by the guest layer after construction.
+  GuestInterface* guest = nullptr;
+
+  bool alive() const {
+    return lifecycle == DomainLifecycle::kRunning ||
+           lifecycle == DomainLifecycle::kCreating;
+  }
+};
+
+}  // namespace nlh::hv

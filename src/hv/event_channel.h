@@ -1,0 +1,87 @@
+// Event channels: Xen's asynchronous notification primitive.
+//
+// Paravirtual I/O (block, net) rides on shared-memory rings plus event
+// channel notifications between frontend (AppVM) and backend (PrivVM).
+// Channel state lives in heap-allocated per-domain buckets; a stray write
+// there breaks notification delivery — one flavor of the "corrupted data
+// structure" recovery-failure cause (Section VII-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hv/panic.h"
+#include "hv/types.h"
+
+namespace nlh::hv {
+
+enum class ChannelState : std::uint8_t {
+  kClosed = 0,
+  kUnbound,       // allocated, waiting for the remote end to bind
+  kInterdomain,   // connected to (remote_domain, remote_port)
+  kVirq,          // bound to a virtual IRQ (e.g. the per-vCPU timer)
+};
+
+struct EventChannel {
+  ChannelState state = ChannelState::kClosed;
+  DomainId remote_domain = kInvalidDomain;
+  EventPort remote_port = kInvalidPort;
+  int virq = -1;
+  VcpuId notify_vcpu = kInvalidVcpu;  // which vCPU receives the upcall
+};
+
+inline constexpr int kMaxEventPorts = 64;  // per domain (fits the bitmap)
+
+// Per-domain event channel table.
+class EventChannelTable {
+ public:
+  EventChannelTable() : channels_(kMaxEventPorts) {}
+
+  EventPort AllocUnbound(DomainId remote, VcpuId notify_vcpu) {
+    for (EventPort p = 0; p < kMaxEventPorts; ++p) {
+      if (channels_[static_cast<std::size_t>(p)].state == ChannelState::kClosed) {
+        EventChannel& ch = channels_[static_cast<std::size_t>(p)];
+        ch.state = ChannelState::kUnbound;
+        ch.remote_domain = remote;
+        ch.remote_port = kInvalidPort;
+        ch.notify_vcpu = notify_vcpu;
+        return p;
+      }
+    }
+    throw HvPanic("out of event channel ports");
+  }
+
+  void BindInterdomain(EventPort local, DomainId remote, EventPort remote_port) {
+    EventChannel& ch = At(local);
+    HvAssert(ch.state == ChannelState::kUnbound ||
+                 ch.state == ChannelState::kInterdomain,
+             "binding a port in the wrong state");
+    ch.state = ChannelState::kInterdomain;
+    ch.remote_domain = remote;
+    ch.remote_port = remote_port;
+  }
+
+  void Close(EventPort port) { At(port) = EventChannel{}; }
+
+  EventChannel& At(EventPort port) {
+    HvAssert(port >= 0 && port < kMaxEventPorts, "event port out of range");
+    return channels_[static_cast<std::size_t>(port)];
+  }
+  const EventChannel& At(EventPort port) const {
+    HvAssert(port >= 0 && port < kMaxEventPorts, "event port out of range");
+    return channels_[static_cast<std::size_t>(port)];
+  }
+
+  int OpenCount() const {
+    int n = 0;
+    for (const EventChannel& ch : channels_) {
+      if (ch.state != ChannelState::kClosed) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<EventChannel> channels_;
+};
+
+}  // namespace nlh::hv

@@ -1,0 +1,114 @@
+#include "hv/frame_table.h"
+
+namespace nlh::hv {
+
+FrameNumber FrameTable::Alloc(std::uint64_t count, FrameType type,
+                              DomainId owner) {
+  HvAssert(type != FrameType::kFree, "allocating frames as free");
+  if (count == 1 && !free_list_.empty()) {
+    const FrameNumber f = free_list_.back();
+    free_list_.pop_back();
+    PageFrameDescriptor& d = frames_[f];
+    HvAssert(d.type == FrameType::kFree, "free-list entry not free");
+    d.type = type;
+    d.owner = owner;
+    d.use_count = 1;
+    d.validated = false;
+    ++allocated_;
+    return f;
+  }
+  if (bump_ + count > frames_.size()) {
+    // Out of fresh frames; satisfy singles from the free list if possible.
+    if (count == 1 || free_list_.size() < count) {
+      throw HvPanic("out of physical memory frames");
+    }
+  }
+  const FrameNumber first = bump_;
+  bump_ += count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PageFrameDescriptor& d = frames_[first + i];
+    d.type = type;
+    d.owner = owner;
+    d.use_count = 1;
+    d.validated = false;
+  }
+  allocated_ += count;
+  return first;
+}
+
+void FrameTable::FreeOne(FrameNumber f) {
+  PageFrameDescriptor& d = frames_[f];
+  HvAssert(d.type != FrameType::kFree, "double free of frame");
+  HvAssert(!d.validated, "freeing a validated page table");
+  HvAssert(d.use_count <= 1, "freeing a referenced page");
+  d = PageFrameDescriptor{};
+  free_list_.push_back(f);
+  --allocated_;
+}
+
+bool FrameTable::Consistent(const PageFrameDescriptor& d) {
+  if (d.type == FrameType::kFree) {
+    return !d.validated && d.use_count == 0;
+  }
+  if (d.use_count < 0) return false;
+  if (d.validated && d.use_count <= 0) return false;
+  if (d.type == FrameType::kPageTable && !d.validated) return false;
+  if (d.validated && d.type != FrameType::kPageTable) return false;
+  return true;
+}
+
+std::uint64_t FrameTable::CountInconsistent() const {
+  std::uint64_t n = 0;
+  for (const PageFrameDescriptor& d : frames_) {
+    if (!Consistent(d)) ++n;
+  }
+  return n;
+}
+
+FrameScanReport FrameTable::ScanAndRepair() {
+  FrameScanReport report;
+  for (PageFrameDescriptor& d : frames_) {
+    ++report.scanned;
+    if (Consistent(d)) continue;
+    ++report.repaired;
+    if (d.type == FrameType::kFree) {
+      d.validated = false;
+      d.use_count = 0;
+      continue;
+    }
+    if (d.use_count < 0) d.use_count = 0;
+    // The validation bit is the more reliable field (set/cleared in one
+    // step); make the counter and type agree with it.
+    if (d.validated) {
+      d.type = FrameType::kPageTable;
+      if (d.use_count <= 0) d.use_count = 1;
+    } else if (d.type == FrameType::kPageTable) {
+      d.type = FrameType::kDomainPage;
+      if (d.use_count < 0) d.use_count = 0;
+    }
+  }
+  return report;
+}
+
+FrameNumber FrameTable::PickAllocatedFrame(sim::Rng& rng) const {
+  if (allocated_ == 0) return kInvalidFrame;
+  // Bounded rejection sampling over the bump region.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const FrameNumber f = rng.Index(static_cast<std::size_t>(
+        bump_ == 0 ? frames_.size() : bump_));
+    if (frames_[f].type != FrameType::kFree) return f;
+  }
+  for (FrameNumber f = 0; f < frames_.size(); ++f) {
+    if (frames_[f].type != FrameType::kFree) return f;
+  }
+  return kInvalidFrame;
+}
+
+void FrameTable::ResetAll() {
+  for (PageFrameDescriptor& d : frames_) d = PageFrameDescriptor{};
+  free_list_.clear();
+  bump_ = 0;
+  allocated_ = 0;
+}
+
+}  // namespace nlh::hv

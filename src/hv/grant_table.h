@@ -1,0 +1,92 @@
+// Grant tables: page sharing between domains for paravirtual I/O.
+//
+// A frontend grants a page to the backend domain; the backend maps (or
+// grant-copies) it. Mapping takes a reference on the underlying frame —
+// a non-idempotent step that makes grant hypercalls a prime source of
+// retry failures (Section IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hv/panic.h"
+#include "hv/types.h"
+
+namespace nlh::hv {
+
+struct GrantEntry {
+  bool in_use = false;        // granted by the owner
+  DomainId grantee = kInvalidDomain;
+  FrameNumber frame = kInvalidFrame;
+  int map_count = 0;          // active mappings by the grantee
+  int xfer_count = 0;         // completed grant-copy transfers through this
+                              // entry; frontends compare against their own
+                              // request count to detect duplicated transfers
+                              // (retry of the un-enhanced grant_copy)
+};
+
+inline constexpr int kGrantTableSize = 128;  // per domain
+
+class GrantTable {
+ public:
+  GrantTable() : entries_(kGrantTableSize) {}
+
+  // Guest-side: grant `frame` to `grantee` (written directly into the
+  // shared grant page; not a hypercall).
+  GrantRef Grant(DomainId grantee, FrameNumber frame) {
+    for (GrantRef r = 0; r < kGrantTableSize; ++r) {
+      GrantEntry& e = entries_[static_cast<std::size_t>(r)];
+      if (!e.in_use && e.map_count == 0) {
+        e.in_use = true;
+        e.grantee = grantee;
+        e.frame = frame;
+        e.map_count = 0;
+        return r;
+      }
+    }
+    throw HvPanic("grant table full");
+  }
+
+  // Guest-facing, non-throwing variant: returns kInvalidGrant when the
+  // table is full (the guest kernel decides how to react).
+  GrantRef TryGrant(DomainId grantee, FrameNumber frame) {
+    for (GrantRef r = 0; r < kGrantTableSize; ++r) {
+      GrantEntry& e = entries_[static_cast<std::size_t>(r)];
+      if (!e.in_use && e.map_count == 0) {
+        e.in_use = true;
+        e.grantee = grantee;
+        e.frame = frame;
+        e.map_count = 0;
+        e.xfer_count = 0;
+        return r;
+      }
+    }
+    return kInvalidGrant;
+  }
+
+  void Revoke(GrantRef ref) {
+    GrantEntry& e = At(ref);
+    HvAssert(e.map_count == 0, "revoking a mapped grant");
+    e = GrantEntry{};
+  }
+
+  GrantEntry& At(GrantRef ref) {
+    HvAssert(ref >= 0 && ref < kGrantTableSize, "grant ref out of range");
+    return entries_[static_cast<std::size_t>(ref)];
+  }
+  const GrantEntry& At(GrantRef ref) const {
+    HvAssert(ref >= 0 && ref < kGrantTableSize, "grant ref out of range");
+    return entries_[static_cast<std::size_t>(ref)];
+  }
+
+  int MappedCount() const {
+    int n = 0;
+    for (const GrantEntry& e : entries_) n += e.map_count;
+    return n;
+  }
+
+ private:
+  std::vector<GrantEntry> entries_;
+};
+
+}  // namespace nlh::hv

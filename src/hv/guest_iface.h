@@ -1,0 +1,76 @@
+// Interface the hypervisor uses to drive guest execution.
+//
+// The guest layer (src/guest/) implements this; keeping it abstract here
+// avoids an hv -> guest dependency, matching the real layering (Xen knows
+// nothing about the kernels it hosts).
+//
+// Execution model: guests are explicit state machines. During RunSlice a
+// guest may call back into the hypervisor (Hypercall / ForwardedSyscall);
+// those calls normally return synchronously, but a simulated fault unwinds
+// straight through RunSlice — guest implementations must therefore advance
+// their state machine only AFTER a hypercall returns. If recovery retries
+// the abandoned call, its completion is delivered via OnHypercallResult /
+// OnSyscallResult; if retry was impossible, via OnHypercallLost.
+#pragma once
+
+#include <cstdint>
+
+#include "hv/hypercall_defs.h"
+#include "hv/types.h"
+#include "sim/time.h"
+
+namespace nlh::hv {
+
+// What a vCPU did with its time slice.
+struct GuestRunResult {
+  enum class Action {
+    kContinue,  // used budget computing / more work pending; run me again
+    kBlock,     // issued sched_op(block); do not run until woken
+    kIdle,      // nothing to do right now (waits without blocking)
+  };
+  Action action = Action::kIdle;
+  sim::Duration used = 0;  // guest-mode time consumed
+};
+
+class GuestInterface {
+ public:
+  virtual ~GuestInterface() = default;
+
+  // Runs the vCPU in guest mode for up to `budget`. Pending event-channel
+  // bits should be consumed via Hypervisor::ConsumePendingEvents.
+  virtual GuestRunResult RunSlice(VcpuId vcpu, sim::Duration budget) = 0;
+
+  // A hypercall that was abandoned by recovery has been retried and
+  // completed with `ret`; the guest resumes as if it returned normally.
+  virtual void OnHypercallResult(VcpuId vcpu, HypercallCode code,
+                                 std::uint64_t ret) = 0;
+  // A forwarded syscall abandoned by recovery was re-forwarded.
+  virtual void OnSyscallResult(VcpuId vcpu) = 0;
+  // An abandoned VM exit (HVM) was re-delivered and completed.
+  virtual void OnVmExitResult(VcpuId vcpu) { OnSyscallResult(vcpu); }
+
+  // The in-flight hypercall/syscall was abandoned and could NOT be retried
+  // (retry enhancement disabled): the guest kernel sees a garbage return
+  // value and reacts per call type (tolerate, degrade, or crash).
+  virtual void OnHypercallLost(VcpuId vcpu, HypercallCode code,
+                               bool was_syscall) = 0;
+
+  // Recovery resumed this vCPU with clobbered FS/GS segment bases ("Save
+  // FS/GS" enhancement disabled): user-level TLS is broken.
+  virtual void OnFsGsLost(VcpuId vcpu) = 0;
+
+  // A wild hypervisor write (or injected SDC) corrupted guest memory.
+  virtual void OnMemoryCorrupted(VcpuId vcpu) = 0;
+
+  // The domain is being destroyed (or the platform died).
+  virtual void OnShutdown(VcpuId vcpu) = 0;
+
+  // Called for every vCPU when the system resumes after recovery (after any
+  // OnHypercallLost/OnFsGsLost delivery). A guest that was inside a
+  // hypercall that committed right before the abandonment point sees the
+  // call as returned (with a garbage return value) — this hook lets it
+  // proceed. Default: nothing.
+  virtual void OnResumedAfterRecovery(VcpuId vcpu) { (void)vcpu; }
+};
+
+}  // namespace nlh::hv

@@ -1,0 +1,112 @@
+// The hypervisor heap (Xen's xenheap), backed by page frames.
+//
+// Two properties matter for the recovery mechanisms:
+//  1. The free list is a real linked structure. A fault that corrupts its
+//     linkage makes the next allocation walk off into garbage (panic) or
+//     around a cycle (hang). ReHype *recreates* the heap during reboot
+//     (Table II: 211 ms), which repairs free-list corruption; NiLiHype
+//     reuses the heap in place and cannot (one mechanical source of
+//     ReHype's recovery-rate edge, Section VII-A reason 3).
+//  2. Locks embedded in heap-allocated objects are tracked here so that the
+//     ReHype-inherited "release all locks stored in the heap" recovery step
+//     (Section V-A) can iterate them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/frame_table.h"
+#include "hv/panic.h"
+#include "hv/spinlock.h"
+#include "hv/types.h"
+
+namespace nlh::hv {
+
+using HeapObjectId = std::uint64_t;
+inline constexpr HeapObjectId kInvalidHeapObject = 0;
+
+struct HeapObject {
+  HeapObjectId id = kInvalidHeapObject;
+  std::string tag;           // e.g. "domain", "vcpu", "evtchn_bucket"
+  FrameNumber first_frame = kInvalidFrame;
+  std::uint64_t pages = 0;
+  std::unique_ptr<SpinLock> lock;  // embedded lock, if any
+};
+
+class HvHeap {
+ public:
+  explicit HvHeap(FrameTable& frames) : frames_(frames) {}
+
+  HvHeap(const HvHeap&) = delete;
+  HvHeap& operator=(const HvHeap&) = delete;
+
+  // Seeds the heap with `pages` frames taken from the frame table.
+  void Init(std::uint64_t pages);
+
+  // Allocates an object of `pages` pages. If `with_lock`, the object embeds
+  // a spinlock registered for recovery-time release. Walks the free list —
+  // the walk is where free-list corruption manifests.
+  HeapObjectId Alloc(const std::string& tag, std::uint64_t pages,
+                     bool with_lock = false);
+
+  void Free(HeapObjectId id);
+
+  HeapObject* Find(HeapObjectId id);
+  SpinLock* LockOf(HeapObjectId id);
+
+  std::uint64_t allocated_pages() const { return allocated_pages_; }
+  std::uint64_t free_pages() const { return free_pages_; }
+  std::uint64_t num_objects() const { return objects_.size(); }
+  std::uint64_t total_pages() const { return total_pages_; }
+
+  // --- Recovery operations -------------------------------------------------
+
+  // ReHype-inherited: force-release every lock embedded in a live object.
+  int ReleaseAllLocks();
+  int HeldLockCount() const;
+
+  // ReHype reboot step "recreate the new heap": rebuild the free list from
+  // scratch around the preserved allocated objects. Repairs any free-list
+  // corruption. Returns the number of free chunks rebuilt.
+  std::uint64_t RecreateFreeList();
+
+  // --- Fault injection surface ----------------------------------------------
+
+  // Corrupts the linkage of a random free-list node. The `fatal` flavor
+  // points the link at garbage (panic on walk); otherwise it creates a
+  // cycle (hang on walk).
+  void CorruptFreeList(bool fatal);
+  bool free_list_corrupted() const { return corrupted_; }
+
+  // Integrity check used by tests and post-run validation.
+  bool CheckFreeListIntegrity() const;
+
+ private:
+  struct Chunk {
+    std::uint64_t pages = 0;
+    FrameNumber first_frame = kInvalidFrame;
+    std::int64_t next = kNullChunk;  // index into chunks_, or kNullChunk
+    bool live = false;               // slot in use (free-list node)
+  };
+  static constexpr std::int64_t kNullChunk = -1;
+  static constexpr std::int64_t kPoisonChunk = 0x00dead00;
+
+  std::int64_t AllocChunkSlot();
+  void WalkCheck(std::int64_t idx, int steps) const;
+
+  FrameTable& frames_;
+  std::vector<Chunk> chunks_;
+  std::int64_t free_head_ = kNullChunk;
+  std::map<HeapObjectId, HeapObject> objects_;
+  HeapObjectId next_id_ = 1;
+  FrameNumber heap_base_ = kInvalidFrame;
+  std::uint64_t total_pages_ = 0;
+  std::uint64_t allocated_pages_ = 0;
+  std::uint64_t free_pages_ = 0;
+  bool corrupted_ = false;
+};
+
+}  // namespace nlh::hv

@@ -1,0 +1,319 @@
+// The simulated Xen-like hypervisor.
+//
+// Owns every hypervisor-side structure the paper's recovery mechanisms
+// repair (frame table, heap, timer heaps, scheduler metadata, locks, event
+// channels, per-CPU data, static segment) and drives execution of the
+// hosted guests over the hardware platform. Error detection unwinds to the
+// entry paths here and is reported through the registered error handler
+// (the detect/ layer), which invokes a recovery mechanism (recovery/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hv/domain.h"
+#include "hv/frame_table.h"
+#include "hv/guest_iface.h"
+#include "hv/heap.h"
+#include "hv/hypercall_defs.h"
+#include "hv/op_context.h"
+#include "hv/options.h"
+#include "hv/percpu.h"
+#include "hv/sched_ops.h"
+#include "hv/spinlock.h"
+#include "hv/static_data.h"
+#include "hv/timer_heap.h"
+#include "hv/types.h"
+#include "hv/vcpu.h"
+#include "hw/platform.h"
+
+namespace nlh::hv {
+
+enum class DetectionKind { kPanic, kHang };
+
+// HVM extension: VM exit reasons handled by the hypervisor.
+enum class VmExitReason : int {
+  kEptViolation = 0,  // guest touched an unmapped guest-physical page
+  kEptReclaim,        // balloon/pressure path unmapping a guest page
+  kCpuid,             // trivial emulated instruction
+};
+
+// Routing of a hardware interrupt vector to a domain's event port.
+// `masked` models IO-APIC masking during a physdev_op rebalance: an
+// abandoned rebalance leaves the route masked and the device silent.
+struct DeviceBinding {
+  DomainId dom = kInvalidDomain;
+  EventPort port = kInvalidPort;
+  bool masked = false;
+};
+
+struct HvStats {
+  std::uint64_t hypercalls = 0;
+  std::uint64_t syscall_forwards = 0;
+  std::uint64_t interrupts = 0;
+  std::uint64_t schedules = 0;
+  std::uint64_t timer_softirqs = 0;
+  std::uint64_t idle_polls = 0;
+  std::uint64_t events_sent = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t recoveries = 0;
+};
+
+struct HvConfig {
+  RuntimeOptions runtime;
+  std::uint64_t heap_pages = 2048;    // hypervisor heap size (sim frames)
+  std::uint64_t frame_table_frames = 16384;  // mechanical frame-table window
+  sim::Duration sched_tick_period = sim::Milliseconds(10);
+  sim::Duration watchdog_tick_period = sim::Milliseconds(100);
+  sim::Duration time_sync_period = sim::Milliseconds(500);
+  sim::Duration guest_slice_budget = sim::Microseconds(500);
+  int max_vcpus = 64;
+};
+
+class Hypervisor {
+ public:
+  Hypervisor(hw::Platform& platform, const HvConfig& config);
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  // --- Boot / configuration ----------------------------------------------
+  // Fresh bring-up: initializes all state, registers recurring timer
+  // events, arms APIC timers and the watchdog NMI source.
+  void Boot();
+
+  // Creates a domain directly (boot-time path; the runtime path is the
+  // kDomctlCreate hypercall issued by the PrivVM toolstack).
+  DomainId CreateDomainDirect(const std::string& name, bool privileged,
+                              hw::CpuId pinned_cpu, std::uint64_t frames);
+  void AttachGuest(DomainId dom, GuestInterface* guest);
+  // Makes the domain's vCPUs runnable and kicks their CPUs.
+  void StartDomain(DomainId dom);
+
+  // --- Guest entry points (called from GuestInterface::RunSlice) -----------
+  // Executes a hypercall synchronously. May throw (simulated fault) — the
+  // guest layer must be a pass-through for exceptions.
+  std::uint64_t Hypercall(VcpuId vcpu, HypercallCode code,
+                          const HypercallArgs& args);
+  // x86-64 forwarded system call (Section IV): charges the forwarding path
+  // and tracks it for syscall retry.
+  void ForwardedSyscall(VcpuId vcpu, std::uint64_t sysno);
+
+  // HVM extension: handles a hardware VM exit from a fully-virtualized
+  // guest. Unlike PV hypercalls, an abandoned VM exit is re-delivered by
+  // the hardware when the guest instruction re-executes.
+  std::uint64_t VmExit(VcpuId vcpu, VmExitReason reason, std::uint64_t arg);
+
+  // Reads and clears the pending event-channel bitmap of a vCPU (bit 0 is
+  // the timer virq; bit N>0 is local port N). Guests call this from
+  // RunSlice.
+  std::uint64_t ConsumePendingEvents(VcpuId vcpu);
+
+  // --- Device / external interface ------------------------------------------
+  // Binds a hardware interrupt vector to (domain, event port).
+  void BindDeviceVector(hw::Vector v, DomainId dom, EventPort port);
+  void RaiseDeviceIrq(hw::Vector v, hw::CpuId target_cpu);
+
+  // --- Execution ---------------------------------------------------------
+  // Ensures a run-slice event is pending for the CPU.
+  void KickCpu(hw::CpuId cpu);
+  // As KickCpu, but at an absolute time.
+  void KickCpuAt(hw::CpuId cpu, sim::Time when);
+  // The per-CPU executor; normally invoked from the event queue.
+  void RunCpuSlice(hw::CpuId cpu);
+
+  // --- Error handling -------------------------------------------------------
+  using ErrorHandler =
+      std::function<void(hw::CpuId, DetectionKind, const std::string&)>;
+  void SetErrorHandler(ErrorHandler handler) { error_handler_ = std::move(handler); }
+  // NMI hook (hang detector); invoked on every watchdog NMI.
+  void SetNmiHook(std::function<void(hw::CpuId)> hook) { nmi_hook_ = std::move(hook); }
+  // Reports a detected error (panic path or hang detector).
+  void ReportError(hw::CpuId cpu, DetectionKind kind, const std::string& what);
+  // True once an unrecoverable state was reached (no handler, or the
+  // handler gave up): the platform is dead.
+  bool dead() const { return dead_; }
+  void MarkDead(const std::string& reason);
+  const std::string& death_reason() const { return death_reason_; }
+  // Reason of the most recent silent CPU hang (diagnostics).
+  const std::string& last_hang_reason() const { return last_hang_reason_; }
+
+  // --- Recovery support API (used by recovery/) ------------------------------
+  // Freeze: disable interrupts everywhere, deliver the recovery IPI to all
+  // other CPUs (incrementing their interrupt nesting level — they were
+  // interrupted!), park them in busy-wait.
+  void FreezeForRecovery(hw::CpuId detector);
+  // Microreset core: discard every execution thread (reset all HV stacks).
+  void DiscardAllHvStacks();
+  // Resume: schedules un-freeze at `resume_at`, optionally reprogramming
+  // every APIC timer from its software timer heap at that moment.
+  void ResumeAfterRecovery(sim::Time resume_at, bool reprogram_apics);
+  // Acks pending and in-service interrupts on every CPU (recovery step).
+  void AckAllInterrupts();
+  // Re-registers any missing recurring system timer events (NiLiHype
+  // "Reactivate recurring timer events").
+  int ReactivateRecurringEvents();
+  // Re-inserts armed per-vCPU singleshot timers that are missing from the
+  // heaps (from the authoritative Vcpu::vtimer_deadline field).
+  void RearmVcpuTimers();
+  // Makes sure every recurring system timer exists; used by ReHype reboot
+  // (which cleared the heaps).
+  void RebuildTimerSubsystem();
+  bool frozen() const { return frozen_; }
+  bool recovery_in_progress() const { return frozen_; }
+  int recovery_attempts() const { return recovery_attempts_; }
+  void set_max_recovery_attempts(int n) { max_recovery_attempts_ = n; }
+
+  // Injected corruption of state the recovery routine itself depends on
+  // (Section VII-A failure reason 1).
+  void CorruptRecoveryPath() { recovery_path_ok_ = false; }
+  bool recovery_path_ok() const { return recovery_path_ok_; }
+
+  // --- State access (recovery, injection, tests, benches) --------------------
+  hw::Platform& platform() { return platform_; }
+  const HvConfig& config() const { return config_; }
+  RuntimeOptions& options() { return config_.runtime; }
+  StaticDataSegment& statics() { return statics_; }
+  StaticLockRegistry& static_locks() { return static_locks_; }
+  FrameTable& frames() { return frames_; }
+  HvHeap& heap() { return heap_; }
+  PerCpuList& percpu() { return percpu_; }
+  PerCpuData& percpu(hw::CpuId c) { return percpu_[static_cast<std::size_t>(c)]; }
+  std::vector<Vcpu>& vcpus() { return vcpus_; }
+  Vcpu& vcpu(VcpuId v) { return vcpus_[static_cast<std::size_t>(v)]; }
+  std::map<DomainId, Domain>& domains() { return domains_; }
+  Domain* FindDomain(DomainId id);
+  TimerHeap& timers(hw::CpuId c) { return *timers_[static_cast<std::size_t>(c)]; }
+  HvStats& stats() { return stats_; }
+  std::map<hw::Vector, DeviceBinding>& device_bindings() {
+    return device_bindings_;
+  }
+  sim::Time Now() const { return platform_.queue().Now(); }
+
+  // Global static locks (registered in the static-lock segment).
+  SpinLock& domlist_lock() { return domlist_lock_; }
+  SpinLock& evtchn_lock() { return evtchn_lock_; }
+  SpinLock& grant_lock() { return grant_lock_; }
+  SpinLock& heap_lock() { return heap_lock_; }
+  SpinLock& console_lock() { return console_lock_; }
+
+  // --- Internals shared with recovery ----------------------------------------
+  // Delivers a pending event port to a domain's notify vCPU and wakes it.
+  void SendEventToPort(DomainId dom, EventPort port, OpContext* ctx);
+  // Wakes a blocked vCPU (event arrival).
+  void WakeVcpu(VcpuId v);
+  // Runs the scheduler on `cpu` (softirq context). Returns the chosen vCPU.
+  VcpuId Schedule(OpContext& ctx, hw::CpuId cpu);
+  // Post-recovery integrity sweep used by tests/examples (not by recovery
+  // itself): returns a human-readable list of detected inconsistencies.
+  std::vector<std::string> AuditState() const;
+
+  // Runtime (hypercall-driven) domain destruction support.
+  void DestroyDomainInternal(OpContext& ctx, DomainId id);
+
+ public:
+  // --- Hypercall dispatch (exposed for the retry path and white-box tests) --
+  std::uint64_t Dispatch(OpContext& ctx, Vcpu& vc, HypercallCode code,
+                         const HypercallArgs& args);
+  std::uint64_t DispatchOne(OpContext& ctx, Vcpu& vc, HypercallCode code,
+                            std::uint64_t arg0, std::uint64_t arg1,
+                            std::uint64_t arg2);
+
+ private:
+  // --- IRQ / softirq paths ---------------------------------------------------
+  sim::Duration HandleOneInterrupt(hw::CpuId cpu);
+  void TimerSoftirq(OpContext& ctx, hw::CpuId cpu);
+  void DeliverVirqTimer(VcpuId v);
+  void IdlePoll(OpContext& ctx, hw::CpuId cpu);
+  // Handlers (hypercalls.cc).
+  std::uint64_t DoMmuUpdate(OpContext& ctx, Vcpu& vc, const HypercallArgs& a);
+  std::uint64_t DoPin(OpContext& ctx, Vcpu& vc, std::uint64_t frame);
+  std::uint64_t DoUnpin(OpContext& ctx, Vcpu& vc, std::uint64_t frame);
+  std::uint64_t DoUpdateVaMapping(OpContext& ctx, Vcpu& vc, std::uint64_t frame,
+                                  bool map);
+  std::uint64_t DoMemoryOp(OpContext& ctx, Vcpu& vc, bool increase,
+                           std::uint64_t nframes);
+  std::uint64_t DoGrantMap(OpContext& ctx, Vcpu& vc, DomainId granter,
+                           GrantRef ref);
+  std::uint64_t DoGrantUnmap(OpContext& ctx, Vcpu& vc, DomainId granter,
+                             GrantRef ref);
+  std::uint64_t DoGrantCopy(OpContext& ctx, Vcpu& vc, DomainId granter,
+                            GrantRef ref);
+  std::uint64_t DoEventSend(OpContext& ctx, Vcpu& vc, EventPort port);
+  std::uint64_t DoEventAllocUnbound(OpContext& ctx, Vcpu& vc, DomainId remote);
+  std::uint64_t DoEventBind(OpContext& ctx, Vcpu& vc, DomainId remote,
+                            EventPort remote_port);
+  std::uint64_t DoEventClose(OpContext& ctx, Vcpu& vc, EventPort port);
+  std::uint64_t DoSchedOp(OpContext& ctx, Vcpu& vc, HypercallCode code);
+  std::uint64_t DoSetTimer(OpContext& ctx, Vcpu& vc, sim::Time deadline);
+  std::uint64_t DoConsoleIo(OpContext& ctx, Vcpu& vc);
+  std::uint64_t DoDomctlCreate(OpContext& ctx, Vcpu& vc,
+                               const HypercallArgs& a);
+  std::uint64_t DoDomctlDestroy(OpContext& ctx, Vcpu& vc, DomainId target);
+  std::uint64_t DoDomctlUnpause(OpContext& ctx, Vcpu& vc, DomainId target);
+  std::uint64_t DoMulticall(OpContext& ctx, Vcpu& vc, const HypercallArgs& a);
+  std::uint64_t DoPhysdevOp(OpContext& ctx, Vcpu& vc);
+  std::uint64_t DispatchVmExit(OpContext& ctx, Vcpu& vc, VmExitReason reason,
+                               std::uint64_t arg);
+
+  // --- Helpers ------------------------------------------------------------
+  void RegisterRecurringTimers(hw::CpuId cpu);
+  void EnsureRecurring(hw::CpuId cpu, const std::string& name,
+                       sim::Duration period, std::function<void()> cb,
+                       int* missing);
+  void ProgramApicFromHeap(hw::CpuId cpu);
+  void ChargeSlice(hw::CpuId cpu, std::uint64_t instructions);
+  // Executes a retried request before the guest resumes (recovery set
+  // needs_retry); returns instructions charged.
+  void ExecuteRetry(hw::CpuId cpu, Vcpu& vc);
+  void OnNmi(hw::CpuId cpu);
+  void StartSchedTick(hw::CpuId cpu);
+  VcpuId VcpuOnCpu(hw::CpuId cpu) const;
+
+  hw::Platform& platform_;
+  HvConfig config_;
+
+  StaticDataSegment statics_;
+  StaticLockRegistry static_locks_;
+  SpinLock domlist_lock_{"domlist_lock"};
+  SpinLock evtchn_lock_{"evtchn_lock"};
+  SpinLock grant_lock_{"grant_lock"};
+  SpinLock heap_lock_{"heap_lock"};
+  SpinLock console_lock_{"console_lock"};
+
+  FrameTable frames_;
+  HvHeap heap_;
+  PerCpuList percpu_;
+  std::vector<std::unique_ptr<TimerHeap>> timers_;
+  std::vector<Vcpu> vcpus_;
+  std::map<DomainId, Domain> domains_;
+  DomainId next_domid_ = 0;
+  std::map<hw::Vector, DeviceBinding> device_bindings_;
+
+  ErrorHandler error_handler_;
+  std::function<void(hw::CpuId)> nmi_hook_;
+  HvStats stats_;
+
+  bool booted_ = false;
+  bool frozen_ = false;
+  bool dead_ = false;
+  std::string death_reason_;
+  std::string last_hang_reason_;
+  bool recovery_path_ok_ = true;
+  int recovery_attempts_ = 0;
+  int max_recovery_attempts_ = 3;
+  bool in_error_report_ = false;
+
+  // Cost accumulated by reentrant hypercall execution during a guest slice.
+  std::vector<std::uint64_t> slice_instructions_;
+  // Architectural busy horizon per CPU: a slice's work occupies simulated
+  // time [start, busy_until); wakeups arriving inside that window defer.
+  std::vector<sim::Time> busy_until_;
+  std::vector<bool> need_resched_;
+  std::vector<bool> sched_tick_enabled_;
+};
+
+}  // namespace nlh::hv

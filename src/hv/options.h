@@ -1,0 +1,27 @@
+// Hypervisor build/runtime options that affect NORMAL operation.
+//
+// These correspond to the category-(1) code of Table IV: support code
+// compiled into the hypervisor that runs before any failure. The recovery-
+// time enhancement switches live in recovery/enhancements.h.
+#pragma once
+
+namespace nlh::hv {
+
+struct RuntimeOptions {
+  // Section IV "mechanisms to mitigate hypercall retry failure": write-ahead
+  // old-value logging for critical variables in non-idempotent handlers.
+  // Turning this off is the paper's NiLiHype* configuration (Figure 3) and
+  // costs ~12% recovery rate (Section VII-C).
+  bool undo_logging = true;
+
+  // Section IV "fine-granularity batched hypercall retry": log completion of
+  // each component of a multicall so retry can skip completed ones.
+  bool batch_completion_logging = true;
+
+  // ReHype-only normal-operation logging (Table IV discussion): shadow
+  // IO-APIC register writes and record boot-line options so the reboot can
+  // restore them. Pure overhead for NiLiHype.
+  bool rehype_ioapic_shadow = false;
+};
+
+}  // namespace nlh::hv

@@ -1,0 +1,56 @@
+// The hypervisor's per-CPU data area.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hv/spinlock.h"
+#include "hv/types.h"
+#include "sim/time.h"
+
+namespace nlh::hv {
+
+struct PerCpuData {
+  explicit PerCpuData(int cpu)
+      : sched_lock("sched_lock[" + std::to_string(cpu) + "]") {}
+
+  // Interrupt nesting level. Incremented on every interrupt/exception/IPI
+  // entry, decremented on exit. Discarding execution threads strands a
+  // nonzero value here; Xen's ASSERT(!in_irq()) in the scheduler then
+  // panics the first time the CPU schedules — which is why basic microreset
+  // *always* fails until the "Clear IRQ count" enhancement is added
+  // (Table I, Section V-A).
+  int local_irq_count = 0;
+
+  // The per-CPU copy of "which vCPU runs here" (redundant with
+  // Vcpu::running_on and Vcpu::is_current).
+  VcpuId curr = kInvalidVcpu;
+  // Whether `curr` has executed at least one slice since being switched in
+  // (scheduler fairness: never rotate away a vCPU that has not run yet).
+  bool curr_ran = true;
+
+  // Runqueue head/tail (intrusive list through Vcpu::rq_prev/rq_next).
+  VcpuId rq_head = kInvalidVcpu;
+  VcpuId rq_tail = kInvalidVcpu;
+  int rq_len = 0;
+
+  // Per-CPU scheduler lock. Statically allocated in Xen; registered with
+  // the static-lock registry. The scheduling-metadata repair re-initializes
+  // it directly (it rebuilds everything the lock protects anyway).
+  SpinLock sched_lock;
+
+  // Hang-detector soft counter: incremented by the recurring 100 ms
+  // watchdog tick; sampled by the perf-counter NMI handler (Section VI-B).
+  std::uint64_t watchdog_soft_count = 0;
+
+  // FS/GS capture area used by the "Save FS/GS" enhancement (Section IV).
+  std::uint64_t saved_fs = 0;
+  std::uint64_t saved_gs = 0;
+  bool fs_gs_saved = false;
+};
+
+// PerCpuData embeds a SpinLock (non-movable), so the per-CPU array uses a
+// deque for reference stability.
+using PerCpuList = std::deque<PerCpuData>;
+
+}  // namespace nlh::hv

@@ -1,0 +1,196 @@
+#include "hv/sched_ops.h"
+
+#include "hv/panic.h"
+
+namespace nlh::hv {
+
+namespace {
+
+Vcpu& At(std::vector<Vcpu>& vcpus, VcpuId v) {
+  if (v < 0 || v >= static_cast<VcpuId>(vcpus.size())) {
+    throw HvPanic("runqueue link points outside the vCPU array");
+  }
+  return vcpus[static_cast<std::size_t>(v)];
+}
+
+constexpr int kMaxWalk = 1024;  // longer walk => corrupt cycle => livelock
+
+}  // namespace
+
+void RunqueueInsert(PerCpuData& pcpu, std::vector<Vcpu>& vcpus, VcpuId v) {
+  Vcpu& vc = At(vcpus, v);
+  HvAssert(!vc.rq_queued, "inserting an already-queued vCPU");
+  vc.rq_prev = pcpu.rq_tail;
+  vc.rq_next = kInvalidVcpu;
+  if (pcpu.rq_tail != kInvalidVcpu) {
+    At(vcpus, pcpu.rq_tail).rq_next = v;
+  } else {
+    pcpu.rq_head = v;
+  }
+  pcpu.rq_tail = v;
+  vc.rq_queued = true;
+  ++pcpu.rq_len;
+}
+
+void RunqueueRemove(PerCpuData& pcpu, std::vector<Vcpu>& vcpus, VcpuId v) {
+  Vcpu& vc = At(vcpus, v);
+  HvAssert(vc.rq_queued, "removing a vCPU that is not queued");
+  if (vc.rq_prev != kInvalidVcpu) {
+    At(vcpus, vc.rq_prev).rq_next = vc.rq_next;
+  } else {
+    HvAssert(pcpu.rq_head == v, "runqueue head does not match link");
+    pcpu.rq_head = vc.rq_next;
+  }
+  if (vc.rq_next != kInvalidVcpu) {
+    At(vcpus, vc.rq_next).rq_prev = vc.rq_prev;
+  } else {
+    HvAssert(pcpu.rq_tail == v, "runqueue tail does not match link");
+    pcpu.rq_tail = vc.rq_prev;
+  }
+  vc.rq_prev = vc.rq_next = kInvalidVcpu;
+  vc.rq_queued = false;
+  --pcpu.rq_len;
+  HvAssert(pcpu.rq_len >= 0, "runqueue length underflow");
+}
+
+VcpuId RunqueuePop(PerCpuData& pcpu, std::vector<Vcpu>& vcpus) {
+  if (pcpu.rq_head == kInvalidVcpu) {
+    HvAssert(pcpu.rq_len == 0, "runqueue empty but length nonzero");
+    return kInvalidVcpu;
+  }
+  const VcpuId head = pcpu.rq_head;
+  Vcpu& vc = At(vcpus, head);
+  HvAssert(vc.rq_queued, "runqueue head is not marked queued");
+  RunqueueRemove(pcpu, vcpus, head);
+  return head;
+}
+
+bool RunqueueValid(const PerCpuData& pcpu, const std::vector<Vcpu>& vcpus) {
+  int walked = 0;
+  VcpuId prev = kInvalidVcpu;
+  VcpuId cur = pcpu.rq_head;
+  while (cur != kInvalidVcpu) {
+    if (cur < 0 || cur >= static_cast<VcpuId>(vcpus.size())) return false;
+    const Vcpu& vc = vcpus[static_cast<std::size_t>(cur)];
+    if (!vc.rq_queued) return false;
+    if (vc.rq_prev != prev) return false;
+    prev = cur;
+    cur = vc.rq_next;
+    if (++walked > kMaxWalk) return false;
+  }
+  if (pcpu.rq_tail != prev) return false;
+  return walked == pcpu.rq_len;
+}
+
+bool SchedMetadataConsistent(const PerCpuList& pcpus,
+                             const std::vector<Vcpu>& vcpus) {
+  for (std::size_t c = 0; c < pcpus.size(); ++c) {
+    const VcpuId curr = pcpus[c].curr;
+    if (curr == kInvalidVcpu) continue;
+    if (curr < 0 || curr >= static_cast<VcpuId>(vcpus.size())) return false;
+    const Vcpu& vc = vcpus[static_cast<std::size_t>(curr)];
+    if (vc.running_on != static_cast<hw::CpuId>(c)) return false;
+    if (!vc.is_current) return false;
+    if (vc.state != VcpuState::kRunning) return false;
+    if (vc.rq_queued) return false;  // running vCPUs are not on a runqueue
+  }
+  for (const Vcpu& vc : vcpus) {
+    const bool claimed =
+        vc.running_on >= 0 &&
+        vc.running_on < static_cast<hw::CpuId>(pcpus.size()) &&
+        pcpus[static_cast<std::size_t>(vc.running_on)].curr == vc.id;
+    if (vc.is_current && !claimed) return false;
+    if (vc.state == VcpuState::kRunning && !claimed) return false;
+  }
+  return true;
+}
+
+int RepairSchedMetadata(PerCpuList& pcpus,
+                        std::vector<Vcpu>& vcpus) {
+  int repaired = 0;
+
+  // Pass 1: the per-CPU `curr` is the most reliable source (Section V-A).
+  // Sanitize obviously-wild values first.
+  for (std::size_t c = 0; c < pcpus.size(); ++c) {
+    VcpuId& curr = pcpus[c].curr;
+    if (curr != kInvalidVcpu &&
+        (curr < 0 || curr >= static_cast<VcpuId>(vcpus.size()))) {
+      curr = kInvalidVcpu;
+      ++repaired;
+    }
+  }
+  // Resolve duplicate claims: if two CPUs claim the same vCPU, keep the one
+  // matching the vCPU's pin, else the lower CPU.
+  for (std::size_t a = 0; a < pcpus.size(); ++a) {
+    for (std::size_t b = a + 1; b < pcpus.size(); ++b) {
+      if (pcpus[a].curr != kInvalidVcpu && pcpus[a].curr == pcpus[b].curr) {
+        const Vcpu& vc = vcpus[static_cast<std::size_t>(pcpus[a].curr)];
+        if (vc.pinned_cpu == static_cast<hw::CpuId>(b)) {
+          pcpus[a].curr = kInvalidVcpu;
+        } else {
+          pcpus[b].curr = kInvalidVcpu;
+        }
+        ++repaired;
+      }
+    }
+  }
+
+  // Pass 2: rewrite every per-vCPU copy from the per-CPU truth, and reset
+  // runqueue linkage to a known state (rebuilt below).
+  for (Vcpu& vc : vcpus) {
+    // Queue linkage is rebuilt from scratch below (re-queueing a previously
+    // queued vCPU is not a repair).
+    vc.rq_prev = vc.rq_next = kInvalidVcpu;
+    vc.rq_queued = false;
+
+    bool claimed = false;
+    hw::CpuId claimed_by = -1;
+    for (std::size_t c = 0; c < pcpus.size(); ++c) {
+      if (pcpus[c].curr == vc.id) {
+        claimed = true;
+        claimed_by = static_cast<hw::CpuId>(c);
+        break;
+      }
+    }
+    if (claimed) {
+      if (vc.running_on != claimed_by || !vc.is_current ||
+          vc.state != VcpuState::kRunning) {
+        ++repaired;
+      }
+      vc.running_on = claimed_by;
+      vc.is_current = true;
+      vc.state = VcpuState::kRunning;
+      pcpus[static_cast<std::size_t>(claimed_by)].curr_ran = true;
+    } else {
+      if (vc.is_current || vc.state == VcpuState::kRunning) {
+        // Was marked running but no CPU claims it: make it runnable so the
+        // scheduler picks it up again.
+        vc.state = VcpuState::kRunnable;
+        ++repaired;
+      }
+      vc.is_current = false;
+      vc.running_on = -1;
+    }
+  }
+
+  // Pass 3: rebuild every runqueue from scratch; initialize the per-CPU
+  // scheduler locks to a fixed valid (unlocked) state.
+  for (std::size_t c = 0; c < pcpus.size(); ++c) {
+    pcpus[c].rq_head = pcpus[c].rq_tail = kInvalidVcpu;
+    pcpus[c].rq_len = 0;
+    if (pcpus[c].sched_lock.held()) {
+      pcpus[c].sched_lock.ForceRelease();
+      ++repaired;
+    }
+  }
+  for (Vcpu& vc : vcpus) {
+    if (vc.state == VcpuState::kRunnable && vc.pinned_cpu >= 0 &&
+        vc.pinned_cpu < static_cast<hw::CpuId>(pcpus.size())) {
+      RunqueueInsert(pcpus[static_cast<std::size_t>(vc.pinned_cpu)], vcpus,
+                     vc.id);
+    }
+  }
+  return repaired;
+}
+
+}  // namespace nlh::hv

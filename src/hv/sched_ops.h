@@ -1,0 +1,45 @@
+// Runqueue primitives and scheduling-metadata consistency checking/repair.
+//
+// Kept as free functions over the raw structures so they are directly
+// unit-testable and so the recovery code can reuse them. The runqueue is an
+// intrusive doubly-linked list (Vcpu::rq_prev/rq_next through PerCpuData::
+// rq_head/rq_tail) — a real structure whose broken linkage trips real
+// assertions, mirroring how Xen fails when scheduling metadata is left
+// inconsistent by recovery (Section V-A).
+#pragma once
+
+#include <vector>
+
+#include "hv/percpu.h"
+#include "hv/vcpu.h"
+
+namespace nlh::hv {
+
+// Appends `v` to cpu's runqueue. Asserts it is not already queued.
+void RunqueueInsert(PerCpuData& pcpu, std::vector<Vcpu>& vcpus, VcpuId v);
+
+// Removes `v` from cpu's runqueue. Asserts linkage consistency.
+void RunqueueRemove(PerCpuData& pcpu, std::vector<Vcpu>& vcpus, VcpuId v);
+
+// Pops the head of the runqueue, or returns kInvalidVcpu when empty.
+// Walks real links; corrupt linkage throws (panic/hang).
+VcpuId RunqueuePop(PerCpuData& pcpu, std::vector<Vcpu>& vcpus);
+
+// Returns true if cpu's runqueue links are structurally valid.
+bool RunqueueValid(const PerCpuData& pcpu, const std::vector<Vcpu>& vcpus);
+
+// Returns true if the *cross-copy* scheduling metadata is consistent:
+// percpu.curr, Vcpu::running_on, Vcpu::is_current and Vcpu::state agree for
+// every vCPU assigned to this CPU.
+bool SchedMetadataConsistent(const PerCpuList& pcpus,
+                             const std::vector<Vcpu>& vcpus);
+
+// The NiLiHype "Ensure consistency within scheduling metadata" enhancement
+// (Section V-A): treat the per-CPU structures as the reliable source, make
+// all per-vCPU copies agree with them, and rebuild every runqueue from
+// scratch. Safe to run on arbitrarily mangled metadata. Returns the number
+// of fields repaired.
+int RepairSchedMetadata(PerCpuList& pcpus,
+                        std::vector<Vcpu>& vcpus);
+
+}  // namespace nlh::hv

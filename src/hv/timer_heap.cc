@@ -1,0 +1,105 @@
+#include "hv/timer_heap.h"
+
+#include <limits>
+
+namespace nlh::hv {
+
+TimerId TimerHeap::Insert(SoftTimer timer) {
+  if (timer.id == kInvalidTimer) timer.id = next_id_++;
+  const TimerId id = timer.id;
+  next_id_ = std::max(next_id_, id + 1);
+  entries_.push_back(std::move(timer));
+  SiftUp(entries_.size() - 1);
+  return id;
+}
+
+bool TimerHeap::Remove(TimerId id) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id != id) continue;
+    entries_[i] = std::move(entries_.back());
+    entries_.pop_back();
+    if (i < entries_.size()) {
+      SiftDown(i);
+      SiftUp(i);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool TimerHeap::RemoveByName(const std::string& name) {
+  for (const SoftTimer& t : entries_) {
+    if (t.name == name) return Remove(t.id);
+  }
+  return false;
+}
+
+bool TimerHeap::Contains(TimerId id) const {
+  for (const SoftTimer& t : entries_) {
+    if (t.id == id) return true;
+  }
+  return false;
+}
+
+bool TimerHeap::ContainsName(const std::string& name) const {
+  for (const SoftTimer& t : entries_) {
+    if (t.name == name) return true;
+  }
+  return false;
+}
+
+sim::Time TimerHeap::NextDeadline() const {
+  if (entries_.empty()) return std::numeric_limits<sim::Time>::max();
+  return entries_.front().deadline;
+}
+
+bool TimerHeap::PopExpired(sim::Time now, SoftTimer* out) {
+  if (entries_.empty()) return false;
+  const SoftTimer& top = entries_.front();
+  // A negative deadline can only come from corruption; Xen's timer code
+  // would compute a bogus APIC delta and trip an assertion here.
+  HvAssert(top.deadline >= 0, "timer heap entry has corrupt deadline");
+  if (top.deadline > now) return false;
+  *out = entries_.front();
+  entries_.front() = std::move(entries_.back());
+  entries_.pop_back();
+  if (!entries_.empty()) SiftDown(0);
+  return true;
+}
+
+void TimerHeap::CorruptEntry(std::size_t index, bool push_out) {
+  if (entries_.empty()) return;
+  SoftTimer& t = entries_[index % entries_.size()];
+  if (push_out) {
+    t.deadline = std::numeric_limits<sim::Time>::max() / 2;
+  } else {
+    t.deadline = -1;
+  }
+  // Deliberately NOT re-heapified: the corruption broke heap order in
+  // place, exactly as a stray write would.
+}
+
+void TimerHeap::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (entries_[parent].deadline <= entries_[i].deadline) break;
+    std::swap(entries_[parent], entries_[i]);
+    i = parent;
+  }
+}
+
+void TimerHeap::SiftDown(std::size_t i) {
+  const std::size_t n = entries_.size();
+  while (true) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && entries_[l].deadline < entries_[smallest].deadline) smallest = l;
+    if (r < n && entries_[r].deadline < entries_[smallest].deadline) smallest = r;
+    if (smallest == i) return;
+    std::swap(entries_[i], entries_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace nlh::hv

@@ -1,0 +1,83 @@
+// Per-CPU software timer heap and recurring system timer events.
+//
+// Xen multiplexes all software timers onto the one-shot APIC timer: the
+// timer interrupt handler pops expired entries, runs their callbacks,
+// re-inserts recurring ones, and finally reprograms the APIC for the new
+// top-of-heap deadline. Two recovery hazards live here:
+//   - the APIC stays unarmed from fire until reprogram; a fault in that
+//     window silences the CPU's timer forever unless recovery reprograms it
+//     ("Reprogram hardware timer", Section V-A);
+//   - a recurring event abandoned between pop and re-insert is lost
+//     ("Reactivate recurring timer events", Section V-A).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hv/panic.h"
+#include "hv/types.h"
+#include "hw/cpu.h"
+#include "sim/time.h"
+
+namespace nlh::hv {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+struct SoftTimer {
+  TimerId id = kInvalidTimer;
+  std::string name;
+  sim::Time deadline = 0;
+  sim::Duration period = 0;  // 0 = one-shot
+  std::function<void()> callback;
+  bool is_system_recurring = false;  // member of the known recurring set
+};
+
+// A binary min-heap of software timers for one CPU. The heap array is a
+// real data structure: fault injection can corrupt an entry's deadline, and
+// the pop path asserts sanity exactly where Xen would fault.
+class TimerHeap {
+ public:
+  explicit TimerHeap(hw::CpuId cpu) : cpu_(cpu) {}
+
+  hw::CpuId cpu() const { return cpu_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  TimerId Insert(SoftTimer timer);
+  bool Remove(TimerId id);
+  bool RemoveByName(const std::string& name);
+  bool Contains(TimerId id) const;
+  bool ContainsName(const std::string& name) const;
+
+  // Earliest deadline, or max Time if empty.
+  sim::Time NextDeadline() const;
+
+  // Pops the earliest timer if its deadline is <= now. The returned timer
+  // has been removed; the caller runs its callback and re-inserts recurring
+  // timers — the abandonment window. Asserts on corrupted deadlines.
+  bool PopExpired(sim::Time now, SoftTimer* out);
+
+  // Fault injection: corrupts the deadline of a random live entry.
+  // push_out=true pushes it to the far future (event silently lost);
+  // otherwise it becomes negative garbage (pop asserts -> panic).
+  void CorruptEntry(std::size_t index, bool push_out);
+
+  // ReHype reboot: discard everything (heap is rebuilt fresh).
+  void Clear() { entries_.clear(); }
+
+  const std::vector<SoftTimer>& entries() const { return entries_; }
+
+ private:
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+
+  hw::CpuId cpu_;
+  std::vector<SoftTimer> entries_;  // binary-heap order by deadline
+  TimerId next_id_ = 1;
+};
+
+}  // namespace nlh::hv

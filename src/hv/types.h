@@ -1,0 +1,26 @@
+// Shared identifier types for the hypervisor.
+#pragma once
+
+#include <cstdint>
+
+namespace nlh::hv {
+
+using DomainId = int;
+inline constexpr DomainId kInvalidDomain = -1;
+inline constexpr DomainId kPrivVmId = 0;  // Dom0
+
+// Global vCPU index (across all domains). The paper's configurations pin one
+// vCPU per VM to one physical CPU, but the data structures support more.
+using VcpuId = int;
+inline constexpr VcpuId kInvalidVcpu = -1;
+
+using FrameNumber = std::uint64_t;
+inline constexpr FrameNumber kInvalidFrame = ~0ULL;
+
+using EventPort = int;
+inline constexpr EventPort kInvalidPort = -1;
+
+using GrantRef = int;
+inline constexpr GrantRef kInvalidGrant = -1;
+
+}  // namespace nlh::hv

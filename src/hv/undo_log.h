@@ -1,0 +1,38 @@
+// Write-ahead undo log for non-idempotent hypercall mitigation (Section IV).
+//
+// Each record captures the OLD value of a critical variable before the
+// handler mutates it. During recovery, before a partially-executed
+// hypercall is set up for retry, its log is replayed in reverse, restoring
+// every logged variable — restoring an old value is idempotent, so it is
+// safe whether or not the guarded mutation actually executed before the
+// thread was abandoned.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace nlh::hv {
+
+class UndoLog {
+ public:
+  void Record(std::function<void()> restore_old_value) {
+    records_.push_back(std::move(restore_old_value));
+  }
+
+  // Replays records newest-first and clears the log.
+  void UnwindAll() {
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) (*it)();
+    records_.clear();
+  }
+
+  // Hypercall completed: its effects are final.
+  void Clear() { records_.clear(); }
+
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<std::function<void()>> records_;
+};
+
+}  // namespace nlh::hv

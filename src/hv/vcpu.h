@@ -1,0 +1,99 @@
+// Virtual CPU state, including the redundant scheduling metadata whose
+// inconsistency after recovery the "Ensure consistency within scheduling
+// metadata" enhancement repairs (Section V-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hv/hypercall_defs.h"
+#include "hv/types.h"
+#include "hv/undo_log.h"
+#include "hw/registers.h"
+#include "sim/time.h"
+
+namespace nlh::hv {
+
+enum class VcpuState : std::uint8_t {
+  kOffline = 0,
+  kRunnable,
+  kRunning,
+  kBlocked,
+};
+
+// Saved guest register context (filled on hypervisor entry, restored when
+// the vCPU is scheduled). On x86-64, Xen does NOT save FS/GS on entry —
+// they stay live in hardware — which is why recovery must capture them
+// explicitly ("Save FS/GS", Section IV).
+struct GuestContext {
+  std::array<std::uint64_t, hw::kNumRegs> regs{};
+  std::uint64_t fs_base = 0;
+  std::uint64_t gs_base = 0;
+  bool fs_gs_valid = false;  // true only after an explicit recovery-time save
+};
+
+// Bookkeeping for the request a vCPU currently has inside the hypervisor;
+// the basis for hypercall/syscall retry after recovery.
+struct InFlightRequest {
+  bool active = false;
+  bool is_syscall = false;  // x86-64 forwarded system call (Section IV)
+  // HVM extension: the request is a hardware VM exit rather than a PV
+  // hypercall. VM exits are architecturally restartable (the guest
+  // instruction re-faults on resume), so recovery retries them even
+  // without the hypercall-retry enhancement.
+  bool is_vmexit = false;
+  int vmexit_reason = 0;  // hv::VmExitReason
+  std::uint64_t vmexit_arg = 0;
+  HypercallCode code = HypercallCode::kXenVersion;
+  HypercallArgs args;
+  // Fine-granularity batched retry (Section IV): index of the first
+  // not-yet-completed component of a multicall. The hypervisor logs each
+  // component's completion as it finishes; a retry skips [0, progress).
+  int multicall_progress = 0;
+  bool progress_logged = false;  // logging enabled when the fine-grained
+                                 // batched-retry enhancement is on
+  // Set by recovery: re-execute this request when the vCPU next runs.
+  bool needs_retry = false;
+  // Set by recovery when retry was impossible (enhancement off): deliver a
+  // garbage return to the guest instead.
+  bool lost = false;
+  // Write-ahead undo records for this request's critical-variable mutations
+  // (Section IV); replayed by recovery before retry.
+  UndoLog undo;
+};
+
+struct Vcpu {
+  VcpuId id = kInvalidVcpu;
+  DomainId domain = kInvalidDomain;
+  hw::CpuId pinned_cpu = -1;
+
+  // --- Scheduling metadata (three redundant locations, as in Xen) -------
+  VcpuState state = VcpuState::kOffline;  // per-vCPU location 1
+  hw::CpuId running_on = -1;              // per-vCPU location 2
+  bool is_current = false;                // per-vCPU location 2b
+  // (the per-CPU location is PerCpuData::curr)
+
+  // Intrusive runqueue links (indices into the vCPU array).
+  VcpuId rq_prev = kInvalidVcpu;
+  VcpuId rq_next = kInvalidVcpu;
+  bool rq_queued = false;
+
+  GuestContext ctx;
+  InFlightRequest inflight;
+
+  // Pending event-channel ports (bitmap over the domain's ports).
+  std::uint64_t pending_events = 0;
+
+  // Armed singleshot timer (set_timer_op), 0 = none. Lives in the per-vCPU
+  // structure (as in Xen), so it is part of the state ReHype preserves and
+  // re-integrates when it rebuilds the timer subsystem.
+  sim::Time vtimer_deadline = 0;
+
+  // Struct corruption (models a stray write into this heap object); checked
+  // at use sites in the scheduler and event paths.
+  bool struct_corrupted = false;
+
+  bool has_pending_events() const { return pending_events != 0; }
+};
+
+}  // namespace nlh::hv

@@ -1,0 +1,131 @@
+// Simulated interrupt controller with x86 local-APIC accept/EOI semantics.
+//
+// Each CPU has an IRR (pending vectors) and an ISR (in-service vectors).
+// A pending vector is deliverable only if its priority class (vector >> 4)
+// exceeds the highest in-service priority. Vectors left in-service across a
+// hypervisor failure therefore block further delivery — which is why both
+// ReHype and NiLiHype must "acknowledge all pending and in-service
+// interrupts" during recovery (Section III-B).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/cpu.h"
+
+namespace nlh::hw {
+
+using Vector = int;
+
+// Vector assignments (priority class = vector >> 4, higher is stronger).
+namespace vec {
+inline constexpr Vector kTimer = 0xf0;      // local APIC timer
+inline constexpr Vector kIpiCall = 0xfb;    // cross-CPU function call
+inline constexpr Vector kIpiRecovery = 0xfc;  // recovery freeze IPI
+inline constexpr Vector kNet = 0x40;        // network device (PrivVM backend)
+inline constexpr Vector kBlk = 0x41;        // block device (PrivVM backend)
+inline constexpr Vector kEventCheck = 0x50;  // event-channel upcall poke
+}  // namespace vec
+
+inline constexpr int kNumVectors = 256;
+
+class InterruptController {
+ public:
+  explicit InterruptController(int num_cpus) : percpu_(num_cpus) {}
+
+  // Invoked whenever a vector becomes pending on a CPU, so the platform can
+  // wake an idle CPU. May be empty during early bring-up.
+  void SetWakeHandler(std::function<void(CpuId)> wake) { wake_ = std::move(wake); }
+
+  // NMIs bypass IRR/ISR and the interrupt flag entirely.
+  void SetNmiHandler(std::function<void(CpuId)> handler) {
+    nmi_handler_ = std::move(handler);
+  }
+
+  void Raise(CpuId cpu, Vector v) {
+    percpu_[cpu].irr.set(static_cast<std::size_t>(v));
+    if (wake_) wake_(cpu);
+  }
+
+  void DeliverNmi(CpuId cpu) {
+    if (nmi_handler_) nmi_handler_(cpu);
+  }
+
+  bool Pending(CpuId cpu, Vector v) const {
+    return percpu_[cpu].irr.test(static_cast<std::size_t>(v));
+  }
+  bool InService(CpuId cpu, Vector v) const {
+    return percpu_[cpu].isr.test(static_cast<std::size_t>(v));
+  }
+  bool AnyPending(CpuId cpu) const { return percpu_[cpu].irr.any(); }
+  bool AnyInService(CpuId cpu) const { return percpu_[cpu].isr.any(); }
+
+  // Highest-priority deliverable pending vector, or -1 if none (masked by
+  // in-service priority or IRR empty). Ignores the CPU interrupt flag; the
+  // hypervisor checks that separately.
+  Vector NextDeliverable(CpuId cpu) const {
+    const PerCpu& s = percpu_[cpu];
+    const int isr_prio = HighestPriority(s.isr);
+    for (int v = kNumVectors - 1; v >= 0; --v) {
+      if (!s.irr.test(static_cast<std::size_t>(v))) continue;
+      if ((v >> 4) > isr_prio) return v;
+      return -1;  // highest pending vector is masked; nothing deliverable
+    }
+    return -1;
+  }
+
+  // Accepts `v`: IRR -> ISR. Caller must have obtained v from
+  // NextDeliverable.
+  void Accept(CpuId cpu, Vector v) {
+    percpu_[cpu].irr.reset(static_cast<std::size_t>(v));
+    percpu_[cpu].isr.set(static_cast<std::size_t>(v));
+  }
+
+  // End-of-interrupt: retires the highest-priority in-service vector.
+  void Eoi(CpuId cpu) {
+    PerCpu& s = percpu_[cpu];
+    for (int v = kNumVectors - 1; v >= 0; --v) {
+      if (s.isr.test(static_cast<std::size_t>(v))) {
+        s.isr.reset(static_cast<std::size_t>(v));
+        return;
+      }
+    }
+  }
+
+  // Recovery enhancement: acknowledge (clear) everything pending and
+  // in-service on a CPU.
+  void AckAll(CpuId cpu) {
+    percpu_[cpu].irr.reset();
+    percpu_[cpu].isr.reset();
+  }
+
+  // Full reset of controller state (performed by ReHype's hardware
+  // re-initialization).
+  void ResetAll() {
+    for (PerCpu& s : percpu_) {
+      s.irr.reset();
+      s.isr.reset();
+    }
+  }
+
+ private:
+  struct PerCpu {
+    std::bitset<kNumVectors> irr;
+    std::bitset<kNumVectors> isr;
+  };
+
+  static int HighestPriority(const std::bitset<kNumVectors>& set) {
+    for (int v = kNumVectors - 1; v >= 0; --v) {
+      if (set.test(static_cast<std::size_t>(v))) return v >> 4;
+    }
+    return -1;
+  }
+
+  std::vector<PerCpu> percpu_;
+  std::function<void(CpuId)> wake_;
+  std::function<void(CpuId)> nmi_handler_;
+};
+
+}  // namespace nlh::hw

@@ -1,0 +1,30 @@
+// Physical memory geometry.
+//
+// The hypervisor's frame table (hv/frame_table.h) holds one descriptor per
+// frame; the NiLiHype recovery step that dominates its 22 ms latency
+// (Table III) is a scan over all of these descriptors, so total memory size
+// directly determines recovery latency.
+#pragma once
+
+#include <cstdint>
+
+namespace nlh::hw {
+
+inline constexpr std::uint64_t kFrameSize = 4096;
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::uint64_t bytes) : bytes_(bytes) {}
+
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t num_frames() const { return bytes_ / kFrameSize; }
+
+  static PhysicalMemory FromGiB(std::uint64_t gib) {
+    return PhysicalMemory(gib << 30);
+  }
+
+ private:
+  std::uint64_t bytes_;
+};
+
+}  // namespace nlh::hw

@@ -1,0 +1,64 @@
+// Per-CPU performance-counter NMI source for the hang detector.
+//
+// Xen's hang detector (Section VI-B) programs a hardware performance counter
+// to raise an NMI every 100 ms of unhalted cycles; the NMI handler checks a
+// counter incremented by a recurring software timer event. We model the
+// counter overflow as a recurring simulated event per CPU. NMIs are not
+// maskable and are delivered even when the CPU is spinning (hung), which is
+// precisely what makes hang detection possible.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hw/cpu.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace nlh::hw {
+
+class PerfCounterNmiSource {
+ public:
+  PerfCounterNmiSource(sim::EventQueue& queue, int num_cpus,
+                       sim::Duration period, std::function<void(CpuId)> deliver)
+      : queue_(queue),
+        period_(period),
+        deliver_(std::move(deliver)),
+        running_(num_cpus, false) {}
+
+  sim::Duration period() const { return period_; }
+
+  void Start(CpuId cpu) {
+    if (running_[cpu]) return;
+    running_[cpu] = true;
+    // CPUs start their counters as they come online, so the overflow NMIs
+    // are naturally staggered across CPUs rather than phase-aligned.
+    const sim::Duration offset =
+        period_ * (cpu + 1) / (static_cast<int>(running_.size()) + 1);
+    queue_.ScheduleAfter(offset, [this, cpu] {
+      if (running_[cpu]) Arm(cpu);
+    });
+  }
+
+  void Stop(CpuId cpu) { running_[cpu] = false; }
+
+  void StartAll() {
+    for (CpuId c = 0; c < static_cast<CpuId>(running_.size()); ++c) Start(c);
+  }
+
+ private:
+  void Arm(CpuId cpu) {
+    queue_.ScheduleAfter(period_, [this, cpu] {
+      if (!running_[cpu]) return;
+      deliver_(cpu);
+      Arm(cpu);
+    });
+  }
+
+  sim::EventQueue& queue_;
+  sim::Duration period_;
+  std::function<void(CpuId)> deliver_;
+  std::vector<bool> running_;
+};
+
+}  // namespace nlh::hw

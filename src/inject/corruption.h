@@ -1,0 +1,118 @@
+// Fault manifestation and corruption model — THE calibrated component.
+//
+// Everything downstream of this file is mechanical: corruptions are real
+// mutations of live simulator structures, and recovery succeeds or fails
+// depending on whether the exercised mechanisms actually repair them. What
+// IS calibrated here (against the paper's own measurements) is:
+//
+//  1. The outcome mix per fault type — fit to Section VII-A:
+//       Register: 74.8% non-manifested, 5.6% SDC, 19.6% detected
+//       Code:     35.0% non-manifested, 12.1% SDC, 52.9% detected
+//       Failstop: 100% detected (PC := 0)
+//  2. How a detected fault manifests (immediate fatal exception, delayed
+//     panic after propagation, or livelock/hang) — fit to the paper's
+//     observations that Code faults have longer detection latency and the
+//     most state corruption (Section VII-A), and to the recovery-failure
+//     cause analysis (top-3: recovery routine not invocable, PrivVM
+//     failure, corrupted hypervisor data structure).
+//  3. The corruption-target mix — weights chosen so the per-mechanism
+//     repairability (reboot re-initializes static data / heap free lists /
+//     timer heaps; microreset reuses them) reproduces the ReHype-vs-
+//     NiLiHype recovery-rate gap of Figure 2.
+#pragma once
+
+#include <cstdint>
+
+namespace nlh::inject {
+
+// kMemory is an extension beyond the paper's three types (Section IX
+// future work: "evaluate NiLiHype's effectiveness under additional fault
+// types"): a bit flip directly in hypervisor data memory. It never faults
+// at the flipped instruction (no register/PC involvement), so it skews
+// toward silent corruption and delayed detection.
+enum class FaultType { kFailstop, kRegister, kCode, kMemory };
+
+const char* FaultTypeName(FaultType t);
+
+// How an injected fault manifests.
+enum class Manifestation {
+  kNone,           // flipped bit never used
+  kSdc,            // silent corruption of guest-visible data
+  kImmediatePanic,  // wild pointer / bad PC -> fatal exception right away
+  kDelayedPanic,   // corrupts state, propagates, detected later
+  kHang,           // livelock (only the NMI watchdog can catch it)
+};
+
+// What state a corrupting fault damages (real mutations; see
+// FaultInjector::ApplyCorruption).
+enum class CorruptionTarget {
+  kFrameDescriptor,  // validated-bit / use-counter damage    (scan repairs)
+  kSchedMetadata,    // curr/running_on/runqueue damage       (repair enh.)
+  kStaticVar,        // static segment scalar                 (reboot only*)
+  kHeapFreeList,     // heap linkage                          (reboot only)
+  kTimerHeapEntry,   // soft timer deadline                   (reboot only)
+  kVcpuStruct,       // stray write into a vCPU heap object   (neither)
+  kDomainStruct,     // stray write into a domain heap object (neither)
+  kPrivVmState,      // wild write into Dom0                  (neither)
+  kRecoveryPath,     // state the recovery routine needs      (neither)
+  kGuestMemory,      // AppVM page (affects one VM only)
+  kCount,
+};
+
+struct OutcomeMix {
+  double p_nonmanifested;
+  double p_sdc;
+  // Conditional on detected:
+  double p_immediate;  // of detected
+  double p_delayed;    // of detected
+  double p_hang;       // of detected (remainder)
+  int corruptions_min;  // corruption actions applied by a delayed fault
+  int corruptions_max;
+  std::uint64_t delay_instr_min;  // extra hv instructions before detection
+  std::uint64_t delay_instr_max;
+};
+
+// Calibration point (1) and (2).
+inline OutcomeMix MixFor(FaultType t) {
+  switch (t) {
+    case FaultType::kFailstop:
+      return {0.0, 0.0, 1.0, 0.0, 0.0, 0, 0, 0, 0};
+    case FaultType::kRegister:
+      return {0.748, 0.056, 0.66, 0.20, 0.14, 1, 1, 2000, 60000};
+    case FaultType::kCode:
+      return {0.350, 0.121, 0.48, 0.36, 0.16, 1, 2, 10000, 250000};
+    case FaultType::kMemory:
+      // Extension (not in the paper): most flips land in cold data
+      // (non-manifested) or guest-visible data (SDC); detected ones are
+      // almost always delayed (the corrupt value must be consumed first).
+      return {0.55, 0.15, 0.10, 0.70, 0.20, 1, 2, 20000, 400000};
+  }
+  return {};
+}
+
+// Calibration point (3): relative weights of corruption targets for a
+// delayed-panic fault. kGuestMemory affects only the owning VM; kStaticVar
+// is repaired by reboot for the 8-of-12 non-preserved variables.
+struct TargetWeights {
+  double w[static_cast<int>(CorruptionTarget::kCount)];
+};
+
+inline TargetWeights CorruptionWeights() {
+  TargetWeights tw{};
+  auto set = [&tw](CorruptionTarget t, double w) {
+    tw.w[static_cast<int>(t)] = w;
+  };
+  set(CorruptionTarget::kFrameDescriptor, 0.33);
+  set(CorruptionTarget::kSchedMetadata, 0.20);
+  set(CorruptionTarget::kStaticVar, 0.07);
+  set(CorruptionTarget::kHeapFreeList, 0.03);
+  set(CorruptionTarget::kTimerHeapEntry, 0.03);
+  set(CorruptionTarget::kVcpuStruct, 0.045);
+  set(CorruptionTarget::kDomainStruct, 0.045);
+  set(CorruptionTarget::kPrivVmState, 0.065);
+  set(CorruptionTarget::kRecoveryPath, 0.035);
+  set(CorruptionTarget::kGuestMemory, 0.18);
+  return tw;
+}
+
+}  // namespace nlh::inject

@@ -1,0 +1,205 @@
+#include "inject/injector.h"
+
+#include "hv/panic.h"
+
+namespace nlh::inject {
+
+const char* FaultTypeName(FaultType t) {
+  switch (t) {
+    case FaultType::kFailstop: return "Failstop";
+    case FaultType::kRegister: return "Register";
+    case FaultType::kCode: return "Code";
+    case FaultType::kMemory: return "Memory";
+  }
+  return "?";
+}
+
+void FaultInjector::Arm(const InjectionPlan& plan) {
+  plan_ = plan;
+  hv_.platform().queue().ScheduleAt(plan.first_trigger, [this] {
+    counting_ = true;
+    remaining_ = plan_.second_trigger_instructions;
+  });
+  hv_.platform().SetHvStepHook(
+      [this](hw::Cpu& cpu, std::uint64_t n) { OnHvStep(cpu, n); });
+}
+
+void FaultInjector::OnHvStep(hw::Cpu& cpu, std::uint64_t instructions) {
+  if (delayed_armed_) {
+    if (instructions >= delay_remaining_) {
+      delayed_armed_ = false;
+      hv_.platform().ClearHvStepHook();
+      RaiseDetected(delayed_kind_);
+    }
+    delay_remaining_ -= instructions;
+    return;
+  }
+  if (!counting_ || fired_) return;
+  if (instructions < remaining_) {
+    remaining_ -= instructions;
+    return;
+  }
+  Fire(cpu);
+}
+
+void FaultInjector::Fire(hw::Cpu& cpu) {
+  fired_ = true;
+  counting_ = false;
+  record_.fired = true;
+  record_.fired_at = hv_.Now();
+  record_.cpu = cpu.id();
+
+  const OutcomeMix mix = MixFor(plan_.type);
+  const double roll = rng_.Uniform();
+
+  if (roll < mix.p_nonmanifested) {
+    record_.manifestation = Manifestation::kNone;
+    hv_.platform().ClearHvStepHook();
+    return;
+  }
+  if (roll < mix.p_nonmanifested + mix.p_sdc) {
+    record_.manifestation = Manifestation::kSdc;
+    ApplyCorruption(CorruptionTarget::kGuestMemory);
+    hv_.platform().ClearHvStepHook();
+    return;
+  }
+
+  // Detected.
+  const double det = rng_.Uniform();
+  if (det < mix.p_immediate) {
+    record_.manifestation = Manifestation::kImmediatePanic;
+    hv_.platform().ClearHvStepHook();
+    RaiseDetected(Manifestation::kImmediatePanic);
+  }
+  if (det < mix.p_immediate + mix.p_delayed) {
+    // Corrupt state now; detection after a propagation window.
+    record_.manifestation = Manifestation::kDelayedPanic;
+    const int n = static_cast<int>(
+        rng_.Range(mix.corruptions_min, mix.corruptions_max));
+    for (int i = 0; i < n; ++i) ApplyCorruption(PickTarget());
+    delayed_armed_ = true;
+    delayed_kind_ = Manifestation::kDelayedPanic;
+    delay_remaining_ = static_cast<std::uint64_t>(rng_.Range(
+        static_cast<std::int64_t>(mix.delay_instr_min),
+        static_cast<std::int64_t>(mix.delay_instr_max)));
+    return;  // hook stays armed for the countdown
+  }
+  record_.manifestation = Manifestation::kHang;
+  hv_.platform().ClearHvStepHook();
+  RaiseDetected(Manifestation::kHang);
+}
+
+void FaultInjector::RaiseDetected(Manifestation m) {
+  switch (m) {
+    case Manifestation::kImmediatePanic:
+      if (plan_.type == FaultType::kFailstop) {
+        throw hv::HvPanic("failstop fault: PC set to 0 (fatal fetch)");
+      }
+      throw hv::HvPanic("fatal exception from injected " +
+                        std::string(FaultTypeName(plan_.type)) + " fault");
+    case Manifestation::kDelayedPanic:
+      throw hv::HvPanic("assertion failure after error propagation (" +
+                        std::string(FaultTypeName(plan_.type)) + " fault)");
+    case Manifestation::kHang:
+    default:
+      throw hv::HvHang("livelock from injected " +
+                       std::string(FaultTypeName(plan_.type)) + " fault");
+  }
+}
+
+CorruptionTarget FaultInjector::PickTarget() {
+  const TargetWeights tw = CorruptionWeights();
+  double total = 0;
+  for (double w : tw.w) total += w;
+  double roll = rng_.Uniform() * total;
+  for (int i = 0; i < static_cast<int>(CorruptionTarget::kCount); ++i) {
+    roll -= tw.w[i];
+    if (roll <= 0) return static_cast<CorruptionTarget>(i);
+  }
+  return CorruptionTarget::kFrameDescriptor;
+}
+
+void FaultInjector::ApplyCorruption(CorruptionTarget target) {
+  record_.corruptions.push_back(target);
+  switch (target) {
+    case CorruptionTarget::kFrameDescriptor: {
+      const hv::FrameNumber f = hv_.frames().PickAllocatedFrame(rng_);
+      if (f == hv::kInvalidFrame) return;
+      hv::PageFrameDescriptor& d = hv_.frames().mutable_desc(f);
+      switch (rng_.Index(3)) {
+        case 0: d.validated = !d.validated; break;
+        case 1: d.use_count += static_cast<std::int32_t>(rng_.Range(1, 3)); break;
+        default: d.use_count -= static_cast<std::int32_t>(rng_.Range(1, 3)); break;
+      }
+      return;
+    }
+    case CorruptionTarget::kSchedMetadata: {
+      auto& vcpus = hv_.vcpus();
+      if (vcpus.empty()) return;
+      hv::Vcpu& vc = vcpus[rng_.Index(vcpus.size())];
+      switch (rng_.Index(4)) {
+        case 0:
+          vc.running_on = static_cast<hw::CpuId>(
+              rng_.Index(static_cast<std::size_t>(hv_.platform().num_cpus())));
+          break;
+        case 1:
+          vc.is_current = !vc.is_current;
+          break;
+        case 2:
+          vc.state = static_cast<hv::VcpuState>(rng_.Index(4));
+          break;
+        default: {
+          hv::PerCpuData& pc = hv_.percpu(static_cast<int>(
+              rng_.Index(static_cast<std::size_t>(hv_.platform().num_cpus()))));
+          pc.curr = static_cast<hv::VcpuId>(rng_.Index(vcpus.size()));
+          break;
+        }
+      }
+      return;
+    }
+    case CorruptionTarget::kStaticVar: {
+      const auto v = static_cast<hv::StaticVar>(
+          rng_.Index(static_cast<std::size_t>(hv::kNumStaticVars)));
+      hv_.statics().Corrupt(v);
+      return;
+    }
+    case CorruptionTarget::kHeapFreeList:
+      hv_.heap().CorruptFreeList(/*fatal=*/rng_.Chance(0.5));
+      return;
+    case CorruptionTarget::kTimerHeapEntry: {
+      const int cpu = static_cast<int>(
+          rng_.Index(static_cast<std::size_t>(hv_.platform().num_cpus())));
+      hv_.timers(cpu).CorruptEntry(rng_.Index(16), rng_.Chance(0.5));
+      return;
+    }
+    case CorruptionTarget::kVcpuStruct: {
+      auto& vcpus = hv_.vcpus();
+      if (vcpus.empty()) return;
+      vcpus[rng_.Index(vcpus.size())].struct_corrupted = true;
+      return;
+    }
+    case CorruptionTarget::kDomainStruct: {
+      auto& domains = hv_.domains();
+      if (domains.empty()) return;
+      auto it = domains.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng_.Index(domains.size())));
+      it->second.struct_corrupted = true;
+      return;
+    }
+    case CorruptionTarget::kPrivVmState:
+      if (hooks_.corrupt_privvm) hooks_.corrupt_privvm();
+      return;
+    case CorruptionTarget::kRecoveryPath:
+      hv_.CorruptRecoveryPath();
+      return;
+    case CorruptionTarget::kGuestMemory:
+      if (hooks_.corrupt_random_appvm_memory) {
+        hooks_.corrupt_random_appvm_memory();
+      }
+      return;
+    case CorruptionTarget::kCount:
+      return;
+  }
+}
+
+}  // namespace nlh::inject

@@ -1,0 +1,79 @@
+// The fault injector — our re-implementation of the Gigan setup
+// (Section VI-C) for the simulated platform.
+//
+// Faults are injected through a two-level chained trigger: a timer fires at
+// a configured point in the run, arming an instruction counter; after a
+// random 0..20000 further instructions retired *in hypervisor code* (the
+// platform's per-step hook), the fault fires on whichever CPU is executing.
+// Firing happens between two real mutation steps of whatever handler is
+// running, so abandonment leaves authentic partial state.
+//
+// In the paper the injector runs outside the target (in the "outside"
+// hypervisor of a nested-virtualization setup); here it runs outside the
+// simulated world, hooked into the simulated hardware — the same vantage
+// point.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hv/hypervisor.h"
+#include "inject/corruption.h"
+#include "sim/rng.h"
+
+namespace nlh::inject {
+
+// Access the injector needs into the guest layer for corruption targets the
+// hypervisor cannot name (provided by core::TargetSystem).
+struct CorruptionHooks {
+  std::function<void()> corrupt_privvm;             // wild write into Dom0
+  std::function<void()> corrupt_random_appvm_memory;  // SDC / guest damage
+};
+
+struct InjectionPlan {
+  FaultType type = FaultType::kFailstop;
+  sim::Time first_trigger = 0;               // timer (level 1)
+  std::uint64_t second_trigger_instructions = 0;  // 0..20000 (level 2)
+};
+
+struct InjectionRecord {
+  bool fired = false;
+  sim::Time fired_at = 0;
+  hw::CpuId cpu = -1;
+  Manifestation manifestation = Manifestation::kNone;
+  std::vector<CorruptionTarget> corruptions;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(hv::Hypervisor& hv, CorruptionHooks hooks, std::uint64_t seed)
+      : hv_(hv), hooks_(std::move(hooks)), rng_(seed) {}
+
+  // Arms the two-level trigger.
+  void Arm(const InjectionPlan& plan);
+
+  const InjectionRecord& record() const { return record_; }
+
+ private:
+  void OnHvStep(hw::Cpu& cpu, std::uint64_t instructions);
+  void Fire(hw::Cpu& cpu);
+  [[noreturn]] void RaiseDetected(Manifestation m);
+  void ApplyCorruption(CorruptionTarget target);
+  CorruptionTarget PickTarget();
+
+  hv::Hypervisor& hv_;
+  CorruptionHooks hooks_;
+  sim::Rng rng_;
+  InjectionPlan plan_;
+  bool counting_ = false;
+  bool fired_ = false;
+  std::uint64_t remaining_ = 0;
+  // Delayed-detection countdown (propagation window).
+  bool delayed_armed_ = false;
+  std::uint64_t delay_remaining_ = 0;
+  Manifestation delayed_kind_ = Manifestation::kDelayedPanic;
+  InjectionRecord record_;
+};
+
+}  // namespace nlh::inject

@@ -1,0 +1,64 @@
+// RecoveryManager: glues detection to a recovery mechanism and records
+// every recovery event for later analysis (latency benches, campaign
+// outcome classification).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/hang_detector.h"
+#include "recovery/recovery_common.h"
+
+namespace nlh::recovery {
+
+class RecoveryManager {
+ public:
+  RecoveryManager(hv::Hypervisor& hv, std::unique_ptr<RecoveryMechanism> mech,
+                  detect::HangDetector* hang_detector)
+      : hv_(hv), mech_(std::move(mech)), hang_detector_(hang_detector) {}
+
+  // Installs the manager as the hypervisor's error handler.
+  void Install() {
+    hv_.SetErrorHandler([this](hw::CpuId cpu, hv::DetectionKind kind,
+                               const std::string& what) {
+      OnError(cpu, kind, what);
+    });
+  }
+
+  void OnError(hw::CpuId cpu, hv::DetectionKind kind, const std::string& what) {
+    last_detection_reason_ = what;
+    if (mech_ == nullptr) {
+      hv_.MarkDead("no recovery mechanism: " + what);
+      return;
+    }
+    if (hv_.recovery_attempts() >= max_attempts_) {
+      hv_.MarkDead("recovery attempt limit reached: " + what);
+      return;
+    }
+    RecoveryReport report = mech_->Recover(cpu, kind);
+    if (!report.gave_up && hang_detector_ != nullptr) {
+      // Reset the watchdog history when the system resumes so the frozen
+      // interval is not mistaken for a hang.
+      hv_.platform().queue().ScheduleAt(
+          report.resumed_at, [this] { hang_detector_->ResetAll(); });
+    }
+    reports_.push_back(std::move(report));
+  }
+
+  const std::vector<RecoveryReport>& reports() const { return reports_; }
+  const std::string& last_detection_reason() const {
+    return last_detection_reason_;
+  }
+  RecoveryMechanism* mechanism() { return mech_.get(); }
+  void set_max_attempts(int n) { max_attempts_ = n; }
+
+ private:
+  hv::Hypervisor& hv_;
+  std::unique_ptr<RecoveryMechanism> mech_;
+  detect::HangDetector* hang_detector_;
+  std::vector<RecoveryReport> reports_;
+  std::string last_detection_reason_;
+  int max_attempts_ = 3;
+};
+
+}  // namespace nlh::recovery

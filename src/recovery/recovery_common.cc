@@ -1,0 +1,113 @@
+#include "recovery/recovery_common.h"
+
+namespace nlh::recovery::steps {
+
+std::vector<hv::VcpuId> RunningVcpus(hv::Hypervisor& hv) {
+  std::vector<hv::VcpuId> running;
+  for (const hv::PerCpuData& pc : hv.percpu()) {
+    if (pc.curr != hv::kInvalidVcpu &&
+        pc.curr < static_cast<hv::VcpuId>(hv.vcpus().size())) {
+      running.push_back(pc.curr);
+    }
+  }
+  return running;
+}
+
+void SaveFsGs(hv::Hypervisor& hv, const std::vector<hv::VcpuId>& running) {
+  for (hv::VcpuId v : running) {
+    hv::Vcpu& vc = hv.vcpu(v);
+    vc.ctx.fs_gs_valid = true;
+  }
+}
+
+RetrySetupStats SetupRequestRetries(hv::Hypervisor& hv,
+                                    const EnhancementSet& enh) {
+  RetrySetupStats stats;
+  for (hv::Vcpu& vc : hv.vcpus()) {
+    hv::InFlightRequest& req = vc.inflight;
+    if (!req.active) continue;
+    req.active = false;
+
+    if (req.is_vmexit) {
+      // HVM: the exit is re-delivered architecturally regardless of the
+      // retry enhancement; the undo log still needs the mitigation flag.
+      if (enh.nonidem_mitigation) {
+        stats.undo_records_replayed += static_cast<int>(req.undo.size());
+        req.undo.UnwindAll();
+      } else {
+        req.undo.Clear();
+      }
+      req.needs_retry = true;
+      ++stats.hypercalls_retried;
+      continue;
+    }
+
+    if (req.is_syscall) {
+      if (enh.syscall_retry) {
+        req.needs_retry = true;
+        ++stats.syscalls_retried;
+      } else {
+        req.lost = true;
+        ++stats.requests_lost;
+      }
+      continue;
+    }
+
+    if (!enh.hypercall_retry) {
+      req.lost = true;
+      req.undo.Clear();
+      ++stats.requests_lost;
+      continue;
+    }
+    if (enh.nonidem_mitigation) {
+      stats.undo_records_replayed += static_cast<int>(req.undo.size());
+      req.undo.UnwindAll();  // restore logged critical variables
+    } else {
+      req.undo.Clear();  // partial mutations stay; retry double-applies
+    }
+    if (!enh.batched_retry_fine) {
+      // Without per-component completion logging the whole batch re-runs.
+      req.multicall_progress = 0;
+    }
+    req.needs_retry = true;
+    ++stats.hypercalls_retried;
+  }
+  return stats;
+}
+
+void NotifyGuestsAfterResume(hv::Hypervisor& hv,
+                             const std::vector<hv::VcpuId>& was_running) {
+  // Lost requests: the guest sees a garbage return value.
+  for (hv::Vcpu& vc : hv.vcpus()) {
+    if (!vc.inflight.lost) continue;
+    vc.inflight.lost = false;
+    hv::Domain* dom = hv.FindDomain(vc.domain);
+    if (dom != nullptr && dom->guest != nullptr) {
+      dom->guest->OnHypercallLost(vc.id, vc.inflight.code,
+                                  vc.inflight.is_syscall);
+    }
+  }
+  // FS/GS loss: vCPUs that were running at detection resume with clobbered
+  // segment bases unless recovery saved them.
+  for (hv::VcpuId v : was_running) {
+    hv::Vcpu& vc = hv.vcpu(v);
+    if (vc.ctx.fs_gs_valid) {
+      vc.ctx.fs_gs_valid = false;  // consumed
+      continue;
+    }
+    hv::Domain* dom = hv.FindDomain(vc.domain);
+    if (dom != nullptr && dom->guest != nullptr) {
+      dom->guest->OnFsGsLost(v);
+    }
+  }
+  // Generic resume notification (e.g. a hypercall that committed at the
+  // abandonment boundary looks returned-with-garbage to its guest).
+  for (hv::Vcpu& vc : hv.vcpus()) {
+    hv::Domain* dom = hv.FindDomain(vc.domain);
+    if (dom != nullptr && dom->guest != nullptr && dom->alive()) {
+      dom->guest->OnResumedAfterRecovery(vc.id);
+    }
+  }
+}
+
+}  // namespace nlh::recovery::steps

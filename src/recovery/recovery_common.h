@@ -1,0 +1,76 @@
+// Building blocks shared by the ReHype and NiLiHype mechanisms, plus the
+// RecoveryMechanism interface and the report structure the latency benches
+// (Tables II and III) print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hv/hypervisor.h"
+#include "recovery/enhancements.h"
+#include "recovery/latency_model.h"
+
+namespace nlh::recovery {
+
+// One recovery step and its modeled latency (a Table II / III row).
+struct StepLatency {
+  std::string name;
+  sim::Duration latency = 0;
+};
+
+struct RecoveryReport {
+  sim::Time detected_at = 0;
+  sim::Time resumed_at = 0;
+  hv::DetectionKind kind = hv::DetectionKind::kPanic;
+  std::vector<StepLatency> steps;
+  bool gave_up = false;  // the recovery routine itself failed
+  std::string give_up_reason;
+
+  sim::Duration total() const {
+    sim::Duration t = 0;
+    for (const StepLatency& s : steps) t += s.latency;
+    return t;
+  }
+};
+
+class RecoveryMechanism {
+ public:
+  virtual ~RecoveryMechanism() = default;
+  virtual std::string Name() const = 0;
+  // Performs recovery for an error detected on `cpu`. Runs synchronously at
+  // detection time; schedules the system resume at detection + total
+  // latency. Returns the report (also retained; see last_report()).
+  virtual RecoveryReport Recover(hw::CpuId cpu, hv::DetectionKind kind) = 0;
+};
+
+namespace steps {
+
+// Per-vCPU outcome of the retry-setup pass.
+struct RetrySetupStats {
+  int hypercalls_retried = 0;
+  int syscalls_retried = 0;
+  int requests_lost = 0;
+  int undo_records_replayed = 0;
+};
+
+// Capture which vCPUs were running when the error was detected (read before
+// any repair mutates percpu.curr).
+std::vector<hv::VcpuId> RunningVcpus(hv::Hypervisor& hv);
+
+// "Save FS/GS" (Section IV): mark the context of every running vCPU as
+// carrying valid FS/GS.
+void SaveFsGs(hv::Hypervisor& hv, const std::vector<hv::VcpuId>& running);
+
+// Sets up retry/lost state for every in-flight request (Sections III-B/IV).
+RetrySetupStats SetupRequestRetries(hv::Hypervisor& hv,
+                                    const EnhancementSet& enh);
+
+// Post-resume notifications: deliver OnHypercallLost / OnFsGsLost to guests
+// whose requests could not be retried or whose FS/GS were clobbered, then
+// clear the flags. Called from an event scheduled at resume time.
+void NotifyGuestsAfterResume(hv::Hypervisor& hv,
+                             const std::vector<hv::VcpuId>& was_running);
+
+}  // namespace steps
+
+}  // namespace nlh::recovery

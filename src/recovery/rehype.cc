@@ -1,0 +1,103 @@
+#include "recovery/rehype.h"
+
+namespace nlh::recovery {
+
+RecoveryReport ReHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
+  RecoveryReport report;
+  report.detected_at = hv_.Now();
+  report.kind = kind;
+  const std::uint64_t mem_frames = hv_.platform().memory().num_frames();
+
+  auto add = [&report](const std::string& name, sim::Duration d) {
+    report.steps.push_back({name, d});
+  };
+
+  if (!hv_.recovery_path_ok()) {
+    report.gave_up = true;
+    report.give_up_reason = "recovery routine could not be invoked";
+    hv_.MarkDead(report.give_up_reason);
+    return report;
+  }
+
+  // 1. Freeze; all CPUs except the recovering one halt until SMP re-init.
+  hv_.FreezeForRecovery(cpu);
+  for (int c = 0; c < hv_.platform().num_cpus(); ++c) {
+    if (c != cpu) hv_.platform().cpu(c).set_halted(true);
+  }
+  add("freeze and halt other CPUs", model_.freeze);
+
+  const std::vector<hv::VcpuId> running = steps::RunningVcpus(hv_);
+  if (enh_.save_fs_gs) steps::SaveFsGs(hv_, running);
+
+  // The reboot gives every CPU a fresh hypervisor stack; any spinning
+  // execution thread is gone with the old instance.
+  hv_.DiscardAllHvStacks();
+
+  // 2. Preserve static data (copy to a safe location), then boot. The boot
+  //    re-initializes the whole static segment; the preserved subset is
+  //    copied back over it — exactly StaticDataSegment::RebootRestore.
+  add("preserve static data segments", sim::Milliseconds(1));
+
+  // --- Hardware initialization (Table II: 412 ms) --------------------------
+  hv_.statics().RebootRestore();
+  add("early initialization of the boot CPU", model_.rh_early_boot);
+  add("initialize and wait for other CPUs to come online",
+      model_.rh_cpus_online);
+  hv_.platform().intc().ResetAll();
+  add("verify, connect and set up local APIC / IO-APIC", model_.rh_apic_setup);
+  add("initialize and calibrate TSC timer", model_.rh_tsc_calibrate);
+
+  // --- Memory initialization (Table II: 266 ms at 8 GB) ----------------------
+  add("record allocated pages of old heap",
+      model_.PerFrame(model_.rh_record_heap_ns_per_frame, mem_frames));
+  if (enh_.frame_table_scan) {
+    hv_.frames().ScanAndRepair();
+    add("restore and check consistency of page frame entries",
+        model_.FrameScan(mem_frames));
+  }
+  add("re-initialize page frame descriptors for un-preserved pages",
+      model_.PerFrame(model_.rh_reinit_desc_ns_per_frame, mem_frames));
+  hv_.heap().RecreateFreeList();
+  add("recreate the new heap",
+      model_.PerFrame(model_.rh_recreate_heap_ns_per_frame, mem_frames));
+
+  // --- State re-integration / reset --------------------------------------
+  // A fresh instance has: zero IRQ nesting, unlocked locks, fresh scheduler
+  // and timer subsystem. The reused domain/vCPU state is re-integrated by
+  // rebuilding the scheduling metadata around it.
+  for (hv::PerCpuData& pc : hv_.percpu()) {
+    pc.local_irq_count = 0;
+    pc.curr = hv::kInvalidVcpu;  // nothing is running on a fresh instance
+    pc.fs_gs_saved = false;
+  }
+  hv_.heap().ReleaseAllLocks();
+  hv_.static_locks().ForceReleaseAll();
+  hv::RepairSchedMetadata(hv_.percpu(), hv_.vcpus());
+  hv_.RebuildTimerSubsystem();
+  hv_.AckAllInterrupts();
+
+  if (enh_.hypercall_retry || enh_.syscall_retry) {
+    const steps::RetrySetupStats st = steps::SetupRequestRetries(hv_, enh_);
+    (void)st;
+  } else {
+    steps::SetupRequestRetries(hv_, enh_);
+  }
+
+  // --- Misc (Table II: 35 ms) ------------------------------------------------
+  add("SMP initialization", model_.rh_smp_init);
+  add("identify valid page frames, relocate boot modules", model_.rh_relocate);
+  add("others (retry setup, lock release, scheduler re-integration)",
+      model_.rh_misc_others);
+
+  // 3. Resume: the boot reprogrammed every APIC timer.
+  report.resumed_at = report.detected_at + report.total();
+  hv_.ResumeAfterRecovery(report.resumed_at, /*reprogram_apics=*/true);
+  hv_.platform().queue().ScheduleAt(
+      report.resumed_at, [this, running] {
+        steps::NotifyGuestsAfterResume(hv_, running);
+        if (resume_hook_) resume_hook_();
+      });
+  return report;
+}
+
+}  // namespace nlh::recovery

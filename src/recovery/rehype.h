@@ -1,0 +1,40 @@
+// ReHype: microreboot-based hypervisor recovery (Section III-B), our
+// re-implementation of the enhanced port described in Section IV.
+//
+// On detection: halt all CPUs but one, preserve the static-data subset and
+// the allocated heap pages, boot a fresh hypervisor instance (simulated
+// hardware bring-up with the measured latencies of Table II), re-integrate
+// the preserved state, and resume with the same retry setup NiLiHype uses.
+// The reboot re-initializes everything not explicitly preserved — which is
+// the mechanical source of its small recovery-rate edge on corrupting
+// fault types (Figure 2) and of its 713 ms latency (Table II).
+#pragma once
+
+#include <functional>
+
+#include "recovery/recovery_common.h"
+
+namespace nlh::recovery {
+
+class ReHype : public RecoveryMechanism {
+ public:
+  ReHype(hv::Hypervisor& hv, const EnhancementSet& enh,
+         const LatencyModel& model = LatencyModel{})
+      : hv_(hv), enh_(enh), model_(model) {}
+
+  std::string Name() const override { return "ReHype"; }
+
+  RecoveryReport Recover(hw::CpuId cpu, hv::DetectionKind kind) override;
+
+  void SetResumeHook(std::function<void()> hook) { resume_hook_ = std::move(hook); }
+
+  const EnhancementSet& enhancements() const { return enh_; }
+
+ private:
+  hv::Hypervisor& hv_;
+  EnhancementSet enh_;
+  LatencyModel model_;
+  std::function<void()> resume_hook_;
+};
+
+}  // namespace nlh::recovery

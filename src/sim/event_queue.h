@@ -1,0 +1,128 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+//
+// The entire target system (hardware, hypervisor, guests, external network
+// peers) advances by popping the earliest event and running it. Events
+// scheduled at the same timestamp run in FIFO order, which keeps runs
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nlh::sim {
+
+// Handle for a scheduled event; allows cancellation (e.g. reprogramming a
+// one-shot APIC timer cancels its previously scheduled fire event).
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run at Now() + delay. Requires delay >= 0.
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at an absolute time (clamped to be no earlier than Now()).
+  EventId ScheduleAt(Time when, std::function<void()> fn) {
+    if (when < now_) when = now_;
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+  }
+
+  // Cancels a pending event. Cancelling an unknown, already-run or
+  // already-cancelled event is a no-op. Returns true if it was pending.
+  bool Cancel(EventId id) {
+    if (id == kInvalidEvent) return false;
+    if (pending_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    return true;
+  }
+
+  bool Empty() const { return pending_.empty(); }
+  std::size_t PendingCount() const { return pending_.size(); }
+
+  // Runs the next pending event, advancing the clock. Returns false if the
+  // queue is empty.
+  bool RunOne() {
+    while (!heap_.empty()) {
+      Entry top = heap_.top();
+      heap_.pop();
+      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      pending_.erase(top.id);
+      now_ = top.when;
+      top.fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs events until the clock passes `deadline` or the queue drains.
+  // Events stamped exactly at `deadline` still run.
+  void RunUntil(Time deadline) {
+    while (!heap_.empty()) {
+      if (NextTime() > deadline) break;
+      RunOne();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  // Runs all events to completion. Intended for tests and short scenarios;
+  // campaigns use RunUntil with a workload deadline.
+  void RunAll() {
+    while (RunOne()) {
+    }
+  }
+
+  // Timestamp of the earliest pending (non-cancelled) event.
+  Time NextTime() {
+    while (!heap_.empty()) {
+      const Entry& top = heap_.top();
+      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        heap_.pop();
+        continue;
+      }
+      return top.when;
+    }
+    return std::numeric_limits<Time>::max();
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    std::function<void()> fn;
+    // Earliest time first; FIFO among equal times via ascending id.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace nlh::sim

@@ -1,0 +1,36 @@
+// Simulated time: signed 64-bit nanoseconds since simulation start.
+//
+// All latencies in the simulator are expressed in this unit. The
+// recovery-latency models (recovery/latency_model.h) are calibrated in
+// nanoseconds against the millisecond-granularity numbers in Tables II and
+// III of the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace nlh::sim {
+
+using Time = std::int64_t;      // nanoseconds
+using Duration = std::int64_t;  // nanoseconds
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000;
+inline constexpr Duration kMillisecond = 1000 * 1000;
+inline constexpr Duration kSecond = 1000LL * 1000 * 1000;
+
+constexpr Duration Nanoseconds(std::int64_t n) { return n; }
+constexpr Duration Microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration Milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(std::int64_t n) { return n * kSecond; }
+
+// Converts a duration to (truncated) milliseconds, for reporting.
+constexpr std::int64_t ToMillis(Duration d) { return d / kMillisecond; }
+constexpr std::int64_t ToMicros(Duration d) { return d / kMicrosecond; }
+constexpr double ToMillisF(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToSecondsF(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace nlh::sim

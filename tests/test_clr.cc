@@ -1,0 +1,219 @@
+// Tests for the CLR-generality study (src/clr/): microreset applied to a
+// component that is neither a kernel nor a hypervisor.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "clr/kv_recovery.h"
+#include "clr/kv_service.h"
+
+namespace nlh::clr {
+namespace {
+
+Request Put(std::uint64_t id, std::uint64_t key, std::uint64_t value) {
+  return Request{id, RequestKind::kPut, key, value};
+}
+Request Get(std::uint64_t id, std::uint64_t key) {
+  return Request{id, RequestKind::kGet, key, 0};
+}
+Request Del(std::uint64_t id, std::uint64_t key) {
+  return Request{id, RequestKind::kDelete, key, 0};
+}
+
+class KvTest : public ::testing::Test {
+ protected:
+  KvTest() : svc_(queue_, 1) {}
+  void Drain(int ticks = 200) {
+    for (int i = 0; i < ticks; ++i) svc_.Tick();
+  }
+  sim::EventQueue queue_;
+  KvService svc_;
+};
+
+TEST_F(KvTest, BasicPutGetDelete) {
+  svc_.Submit(Put(1, 10, 111));
+  svc_.Submit(Put(2, 74, 222));  // same bucket as 10 (74 % 64 == 10)
+  Drain();
+  svc_.Submit(Get(3, 10));
+  svc_.Submit(Get(4, 74));
+  svc_.Submit(Get(5, 99));
+  Drain();
+  std::map<std::uint64_t, Response> resp;
+  Response r;
+  while (svc_.PopResponse(&r)) resp[r.id] = r;
+  EXPECT_TRUE(resp[3].ok);
+  EXPECT_EQ(resp[3].value, 111u);
+  EXPECT_TRUE(resp[4].ok);
+  EXPECT_EQ(resp[4].value, 222u);
+  EXPECT_FALSE(resp[5].ok);
+  EXPECT_TRUE(svc_.IndexIntact());
+
+  svc_.Submit(Del(6, 10));
+  Drain();
+  svc_.Submit(Get(7, 10));
+  Drain();
+  while (svc_.PopResponse(&r)) resp[r.id] = r;
+  EXPECT_FALSE(resp[7].ok);
+}
+
+TEST_F(KvTest, CorruptChainPanicsOnWalk) {
+  svc_.Submit(Put(1, 5, 50));
+  Drain();
+  svc_.CorruptBucketChain(5);
+  EXPECT_FALSE(svc_.IndexIntact());
+  svc_.Submit(Get(2, 5));
+  EXPECT_THROW(Drain(), ServicePanic);
+}
+
+TEST_F(KvTest, StrandedLockDeadlocks) {
+  svc_.StrandWorkerLock(0, 7);
+  svc_.Submit(Put(1, 7, 70));
+  // Ordinary contention spins; a stranded lock trips the watchdog bound.
+  EXPECT_THROW(Drain(KvService::kLockWatchdogTicks + 50), ServicePanic);
+}
+
+TEST_F(KvTest, RestartRebuildsFromJournal) {
+  for (std::uint64_t k = 0; k < 30; ++k) svc_.Submit(Put(k, k, k * 10));
+  Drain();
+  svc_.CorruptBucketChain(3);
+  svc_.StrandWorkerLock(1, 9);
+  const KvRecoveryReport rep = KvRestart::Recover(svc_);
+  EXPECT_GT(rep.locks_released, 0);
+  EXPECT_TRUE(svc_.IndexIntact());
+  // Data survived the rebuild.
+  svc_.Submit(Get(100, 17));
+  Drain();
+  Response r;
+  bool found = false;
+  while (svc_.PopResponse(&r)) {
+    if (r.id == 100) {
+      found = true;
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.value, 170u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(KvTest, MicroresetRepairsInPlace) {
+  for (std::uint64_t k = 0; k < 30; ++k) svc_.Submit(Put(k, k, k * 10));
+  Drain();
+  svc_.CorruptBucketChain(3);
+  svc_.StrandWorkerLock(1, 9);
+  const KvRecoveryReport rep = KvMicroreset::Recover(svc_);
+  EXPECT_GT(rep.locks_released, 0);
+  EXPECT_TRUE(svc_.IndexIntact());
+  EXPECT_LT(rep.latency, sim::Milliseconds(1));
+  svc_.Submit(Get(100, 3));
+  Drain();
+  Response r;
+  bool found = false;
+  while (svc_.PopResponse(&r)) {
+    if (r.id == 100) {
+      found = true;
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.value, 30u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(KvTest, MicroresetRollsForwardJournaledInflight) {
+  // Drive a worker to the journaled-but-not-applied point, then recover.
+  svc_.Submit(Put(1, 42, 4200));
+  svc_.Tick();  // validate+lock
+  svc_.Tick();  // walk
+  svc_.Tick();  // journal append
+  EXPECT_EQ(svc_.journal_size(), 1u);
+  EXPECT_TRUE(svc_.workers()[0].journaled);
+
+  KvMicroreset::Recover(svc_);
+  // The journaled put must be visible without re-running the request.
+  svc_.Submit(Get(2, 42));
+  Drain();
+  Response r;
+  bool saw_ack = false, saw_get = false;
+  while (svc_.PopResponse(&r)) {
+    if (r.id == 1) saw_ack = true;
+    if (r.id == 2) {
+      saw_get = true;
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.value, 4200u);
+    }
+  }
+  EXPECT_TRUE(saw_ack);
+  EXPECT_TRUE(saw_get);
+}
+
+TEST_F(KvTest, NotYetJournaledRequestsAreRequeuedAndRerun) {
+  svc_.Submit(Put(1, 9, 90));
+  svc_.Tick();  // validate+lock only — nothing journaled yet
+  EXPECT_FALSE(svc_.workers()[0].journaled);
+  const KvRecoveryReport rep = KvMicroreset::Recover(svc_);
+  EXPECT_EQ(rep.requests_requeued, 1);
+  Drain();
+  svc_.Submit(Get(2, 9));
+  Drain();
+  Response r;
+  bool ok = false;
+  while (svc_.PopResponse(&r)) {
+    if (r.id == 2 && r.ok && r.value == 90) ok = true;
+  }
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(KvTest, RestartLatencyGrowsWithJournalMicroresetDoesNot) {
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    svc_.Submit(Put(k, k % 500, k));
+  }
+  Drain(4000);
+  const KvRecoveryReport restart = KvRestart::Recover(svc_);
+  const KvRecoveryReport reset = KvMicroreset::Recover(svc_);
+  EXPECT_GT(restart.latency, sim::Milliseconds(40));
+  EXPECT_LT(reset.latency, sim::Milliseconds(1));
+  EXPECT_GT(restart.latency, reset.latency * 30);  // the paper's >30x, again
+}
+
+// Property sweep: random workloads + random damage; both mechanisms must
+// restore integrity and preserve all journaled data.
+class KvRecoveryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvRecoveryFuzz, BothMechanismsRestoreIntegrity) {
+  sim::Rng rng(GetParam());
+  for (int mech = 0; mech < 2; ++mech) {
+    sim::EventQueue queue;
+    KvService svc(queue, GetParam());
+    std::uint64_t id = 1;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t key = rng.Range(0, 300);
+      switch (rng.Index(3)) {
+        case 0: svc.Submit(Put(id++, key, key * 7)); break;
+        case 1: svc.Submit(Get(id++, key)); break;
+        default: svc.Submit(Del(id++, key)); break;
+      }
+    }
+    // Random partial drain so some workers are mid-request.
+    for (int t = 0; t < static_cast<int>(rng.Range(50, 400)); ++t) svc.Tick();
+    // Random damage.
+    if (rng.Chance(0.7)) svc.CorruptBucketChain(rng.Index(64));
+    if (rng.Chance(0.7)) {
+      svc.StrandWorkerLock(static_cast<int>(rng.Index(4)), static_cast<int>(rng.Index(64)));
+    }
+    if (mech == 0) {
+      KvMicroreset::Recover(svc);
+    } else {
+      KvRestart::Recover(svc);
+    }
+    EXPECT_TRUE(svc.IndexIntact()) << "mech " << mech << " seed " << GetParam();
+    // Service still works.
+    svc.Submit(Put(id, 1, 11));
+    for (int t = 0; t < 50; ++t) svc.Tick();
+    EXPECT_GT(svc.acked(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvRecoveryFuzz,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace nlh::clr

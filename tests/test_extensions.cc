@@ -1,0 +1,83 @@
+// Tests for the future-work extensions (Section IX): shared-CPU scheduling
+// and the Memory fault type.
+#include <gtest/gtest.h>
+
+#include "core/target_system.h"
+
+namespace nlh {
+namespace {
+
+TEST(SharedCpuTest, TwoVcpusTimeSliceOneCpu) {
+  core::RunConfig cfg;
+  cfg.inject = false;
+  cfg.share_cpu = true;
+  cfg.unixbench_iterations = 8000;
+  cfg.netbench_duration = sim::Milliseconds(1200);
+  cfg.run_deadline = sim::Seconds(5);
+  cfg.seed = 31;
+  core::TargetSystem sys(cfg);
+  const core::RunResult r = sys.Run();
+  EXPECT_EQ(r.outcome, core::OutcomeClass::kNonManifested);
+  // Both made progress on one CPU.
+  EXPECT_TRUE(sys.appvms()[0]->BenchmarkDone());
+  EXPECT_GT(sys.appvms()[1]->packets_handled(), 500u);
+  // Both vCPUs pinned to CPU 1.
+  EXPECT_EQ(sys.hv().vcpu(sys.appvms()[0]->vcpu_id()).pinned_cpu, 1);
+  EXPECT_EQ(sys.hv().vcpu(sys.appvms()[1]->vcpu_id()).pinned_cpu, 1);
+  // The scheduler did real time slicing (context switches beyond ticks).
+  EXPECT_GT(sys.hv().stats().schedules, 1000u);
+}
+
+TEST(SharedCpuTest, RecoveryWorksWithPopulatedRunqueues) {
+  core::RunConfig cfg;
+  cfg.mechanism = core::Mechanism::kNiLiHype;
+  cfg.fault = inject::FaultType::kFailstop;
+  cfg.share_cpu = true;
+  cfg.seed = 33;
+  core::TargetSystem sys(cfg);
+  const core::RunResult r = sys.Run();
+  EXPECT_EQ(r.outcome, core::OutcomeClass::kDetected);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+}
+
+TEST(MemoryFaultTest, OutcomeMixSkewsTowardSdc) {
+  int nonman = 0, sdc = 0, detected = 0;
+  const int kRuns = 80;
+  for (int i = 0; i < kRuns; ++i) {
+    core::RunConfig cfg;
+    cfg.fault = inject::FaultType::kMemory;
+    cfg.seed = 600 + static_cast<std::uint64_t>(i);
+    core::TargetSystem sys(cfg);
+    switch (sys.Run().outcome) {
+      case core::OutcomeClass::kNonManifested: ++nonman; break;
+      case core::OutcomeClass::kSdc: ++sdc; break;
+      case core::OutcomeClass::kDetected: ++detected; break;
+    }
+  }
+  // Memory faults: ~55/15/30 by calibration; SDC share clearly above the
+  // register-fault 5.6%.
+  EXPECT_GT(sdc, kRuns / 12);
+  EXPECT_GT(nonman, kRuns / 3);
+  EXPECT_GT(detected, kRuns / 8);
+}
+
+TEST(MemoryFaultTest, DetectedMemoryFaultsAreRecoverable) {
+  int detected = 0, success = 0;
+  for (int i = 0; i < 60; ++i) {
+    core::RunConfig cfg;
+    cfg.mechanism = core::Mechanism::kNiLiHype;
+    cfg.fault = inject::FaultType::kMemory;
+    cfg.seed = 700 + static_cast<std::uint64_t>(i);
+    core::TargetSystem sys(cfg);
+    const core::RunResult r = sys.Run();
+    if (r.outcome == core::OutcomeClass::kDetected) {
+      ++detected;
+      success += r.success ? 1 : 0;
+    }
+  }
+  ASSERT_GT(detected, 5);
+  EXPECT_GT(static_cast<double>(success) / detected, 0.6);
+}
+
+}  // namespace
+}  // namespace nlh

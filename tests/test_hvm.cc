@@ -1,0 +1,101 @@
+// Tests for the HVM guest extension: VM-exit handling, architectural
+// retry across recovery, refcount balance, and PV-vs-HVM recovery parity.
+#include <gtest/gtest.h>
+
+#include "core/target_system.h"
+
+namespace nlh {
+namespace {
+
+TEST(HvmTest, VmExitHandlesEptViolationAndReclaim) {
+  hw::PlatformConfig pcfg;
+  pcfg.num_cpus = 2;
+  pcfg.memory_gib = 1;
+  hw::Platform platform(pcfg, 1);
+  hv::Hypervisor hv(platform, hv::HvConfig{});
+  hv.Boot();
+  const hv::DomainId dom = hv.CreateDomainDirect("hvm", false, 1, 32);
+  hv.StartDomain(dom);
+  const hv::VcpuId v = hv.FindDomain(dom)->vcpus.front();
+
+  const hv::FrameNumber f = hv.FindDomain(dom)->first_frame + 5;
+  const std::int32_t before = hv.frames().desc(f).use_count;
+  hv.VmExit(v, hv::VmExitReason::kEptViolation, 5);
+  EXPECT_EQ(hv.frames().desc(f).use_count, before + 1);
+  hv.VmExit(v, hv::VmExitReason::kEptReclaim, 5);
+  EXPECT_EQ(hv.frames().desc(f).use_count, before);
+  EXPECT_FALSE(hv.vcpu(v).inflight.active);
+  EXPECT_EQ(hv.heap().HeldLockCount(), 0);
+  hv.VmExit(v, hv::VmExitReason::kCpuid, 0);
+  EXPECT_EQ(hv.frames().CountInconsistent(), 0u);
+}
+
+TEST(HvmTest, AbandonedVmExitRetriedEvenWithoutRetryEnhancement) {
+  hw::PlatformConfig pcfg;
+  pcfg.num_cpus = 2;
+  pcfg.memory_gib = 1;
+  hw::Platform platform(pcfg, 1);
+  hv::Hypervisor hv(platform, hv::HvConfig{});
+  hv.Boot();
+  const hv::DomainId dom = hv.CreateDomainDirect("hvm", false, 1, 32);
+  hv.StartDomain(dom);
+  hv::Vcpu& vc = hv.vcpu(hv.FindDomain(dom)->vcpus.front());
+
+  // Simulate an abandoned-in-flight VM exit.
+  vc.inflight.active = true;
+  vc.inflight.is_vmexit = true;
+  vc.inflight.vmexit_reason = static_cast<int>(hv::VmExitReason::kEptViolation);
+  vc.inflight.vmexit_arg = 3;
+
+  recovery::EnhancementSet enh = recovery::EnhancementSet::Full();
+  enh.hypercall_retry = false;  // PV retry disabled...
+  enh.syscall_retry = false;
+  recovery::steps::SetupRequestRetries(hv, enh);
+  // ...but the hardware re-delivers the exit regardless.
+  EXPECT_TRUE(vc.inflight.needs_retry);
+  EXPECT_FALSE(vc.inflight.lost);
+}
+
+TEST(HvmTest, HvmUnixBenchCompletesFaultFree) {
+  core::RunConfig cfg = core::RunConfig::OneAppVm(guest::BenchmarkKind::kUnixBench);
+  cfg.inject = false;
+  cfg.appvm_mode = guest::VirtMode::kHVM;
+  cfg.unixbench_iterations = 8000;
+  cfg.seed = 51;
+  core::TargetSystem sys(cfg);
+  const core::RunResult r = sys.Run();
+  EXPECT_EQ(r.outcome, core::OutcomeClass::kNonManifested);
+  EXPECT_TRUE(sys.appvms().front()->BenchmarkDone());
+  // HVM guests do not forward syscalls through the hypervisor.
+  EXPECT_EQ(sys.hv().stats().syscall_forwards, 0u);
+  // All EPT references balanced out.
+  EXPECT_EQ(sys.hv().frames().CountInconsistent(), 0u);
+}
+
+TEST(HvmTest, RecoveryRateComparableToPv) {
+  // Section VI-A: "fault injection results obtained with AppVM supported by
+  // full hardware virtualization are very similar to those obtained with
+  // paravirtualized AppVMs."
+  int pv_succ = 0, hvm_succ = 0, n = 40;
+  for (int i = 0; i < n; ++i) {
+    for (const guest::VirtMode mode :
+         {guest::VirtMode::kPV, guest::VirtMode::kHVM}) {
+      core::RunConfig cfg;
+      cfg.mechanism = core::Mechanism::kNiLiHype;
+      cfg.fault = inject::FaultType::kFailstop;
+      cfg.appvm_mode = mode;
+      cfg.seed = 8000 + static_cast<std::uint64_t>(i);
+      core::TargetSystem sys(cfg);
+      const core::RunResult r = sys.Run();
+      if (r.success) {
+        (mode == guest::VirtMode::kPV ? pv_succ : hvm_succ) += 1;
+      }
+    }
+  }
+  EXPECT_GT(pv_succ, n * 3 / 4);
+  EXPECT_GT(hvm_succ, n * 3 / 4);
+  EXPECT_NEAR(pv_succ, hvm_succ, n / 5.0);
+}
+
+}  // namespace
+}  // namespace nlh

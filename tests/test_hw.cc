@@ -1,0 +1,220 @@
+// Unit tests for the hardware substrate (hw/).
+#include <gtest/gtest.h>
+
+#include "hw/apic.h"
+#include "hw/cpu.h"
+#include "hw/interrupt_controller.h"
+#include "hw/memory.h"
+#include "hw/perf_counter.h"
+#include "hw/platform.h"
+
+namespace nlh::hw {
+namespace {
+
+TEST(CpuTest, StackDiscardIsPointerReset) {
+  Cpu cpu(3);
+  EXPECT_TRUE(cpu.hv_stack().Clean());
+  cpu.hv_stack().top -= 512;
+  cpu.hv_stack().frames = 4;
+  EXPECT_FALSE(cpu.hv_stack().Clean());
+  cpu.hv_stack().Reset();
+  EXPECT_TRUE(cpu.hv_stack().Clean());
+}
+
+TEST(CpuTest, DistinctStackBases) {
+  Cpu a(0), b(1);
+  EXPECT_NE(a.hv_stack().base, b.hv_stack().base);
+}
+
+TEST(CpuTest, CountersAccumulate) {
+  Cpu cpu(0);
+  cpu.RetireHvInstructions(100);
+  cpu.RetireHvInstructions(50);
+  EXPECT_EQ(cpu.hv_instructions(), 150u);
+  cpu.AccumulateHvCycles(10);
+  cpu.AccumulateTotalCycles(100);
+  EXPECT_EQ(cpu.hv_cycles(), 10u);
+  EXPECT_EQ(cpu.total_cycles(), 100u);
+}
+
+TEST(ApicTimerTest, OneShotFiresOnceAtDeadline) {
+  sim::EventQueue q;
+  int fires = 0;
+  ApicTimer apic(q, 0, [&](CpuId) { ++fires; });
+  apic.Program(100);
+  EXPECT_TRUE(apic.armed());
+  q.RunUntil(99);
+  EXPECT_EQ(fires, 0);
+  q.RunUntil(100);
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(apic.armed());  // silent until reprogrammed
+  q.RunUntil(10000);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(ApicTimerTest, ReprogramReplacesDeadline) {
+  sim::EventQueue q;
+  int fires = 0;
+  ApicTimer apic(q, 0, [&](CpuId) { ++fires; });
+  apic.Program(100);
+  apic.Program(500);  // replaces, does not add
+  q.RunUntil(400);
+  EXPECT_EQ(fires, 0);
+  q.RunUntil(500);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(ApicTimerTest, StopDisarms) {
+  sim::EventQueue q;
+  int fires = 0;
+  ApicTimer apic(q, 0, [&](CpuId) { ++fires; });
+  apic.Program(100);
+  apic.Stop();
+  EXPECT_FALSE(apic.armed());
+  q.RunUntil(1000);
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(InterruptControllerTest, RaiseAcceptEoiCycle) {
+  InterruptController intc(2);
+  intc.Raise(0, vec::kTimer);
+  EXPECT_TRUE(intc.Pending(0, vec::kTimer));
+  EXPECT_EQ(intc.NextDeliverable(0), vec::kTimer);
+  intc.Accept(0, vec::kTimer);
+  EXPECT_FALSE(intc.Pending(0, vec::kTimer));
+  EXPECT_TRUE(intc.InService(0, vec::kTimer));
+  intc.Eoi(0);
+  EXPECT_FALSE(intc.InService(0, vec::kTimer));
+}
+
+TEST(InterruptControllerTest, InServiceMasksLowerPriority) {
+  InterruptController intc(1);
+  intc.Raise(0, vec::kTimer);  // 0xf0
+  intc.Accept(0, vec::kTimer);
+  // A lower-priority device vector is pending but not deliverable while the
+  // timer is in service — the stuck-ISR failure mode recovery must ack.
+  intc.Raise(0, vec::kNet);  // 0x40
+  EXPECT_EQ(intc.NextDeliverable(0), -1);
+  intc.Eoi(0);
+  EXPECT_EQ(intc.NextDeliverable(0), vec::kNet);
+}
+
+TEST(InterruptControllerTest, HigherPriorityPreempts) {
+  InterruptController intc(1);
+  intc.Raise(0, vec::kNet);
+  intc.Accept(0, vec::kNet);
+  intc.Raise(0, vec::kTimer);
+  EXPECT_EQ(intc.NextDeliverable(0), vec::kTimer);
+}
+
+TEST(InterruptControllerTest, AckAllClearsEverything) {
+  InterruptController intc(1);
+  intc.Raise(0, vec::kTimer);
+  intc.Accept(0, vec::kTimer);
+  intc.Raise(0, vec::kBlk);
+  intc.AckAll(0);
+  EXPECT_FALSE(intc.AnyPending(0));
+  EXPECT_FALSE(intc.AnyInService(0));
+}
+
+TEST(InterruptControllerTest, PerCpuIsolation) {
+  InterruptController intc(2);
+  intc.Raise(0, vec::kTimer);
+  EXPECT_FALSE(intc.AnyPending(1));
+  EXPECT_TRUE(intc.AnyPending(0));
+}
+
+TEST(InterruptControllerTest, WakeHandlerInvokedOnRaise) {
+  InterruptController intc(2);
+  CpuId woken = -1;
+  intc.SetWakeHandler([&](CpuId c) { woken = c; });
+  intc.Raise(1, vec::kBlk);
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(InterruptControllerTest, NmiBypassesIrr) {
+  InterruptController intc(1);
+  int nmis = 0;
+  intc.SetNmiHandler([&](CpuId) { ++nmis; });
+  intc.DeliverNmi(0);
+  EXPECT_EQ(nmis, 1);
+  EXPECT_FALSE(intc.AnyPending(0));
+}
+
+TEST(PhysicalMemoryTest, FrameGeometry) {
+  PhysicalMemory mem = PhysicalMemory::FromGiB(8);
+  EXPECT_EQ(mem.bytes(), 8ULL << 30);
+  EXPECT_EQ(mem.num_frames(), (8ULL << 30) / 4096);
+}
+
+TEST(PerfCounterTest, PeriodicNmisPerCpuAreStaggered) {
+  sim::EventQueue q;
+  std::vector<sim::Time> first_fire(2, -1);
+  PerfCounterNmiSource src(q, 2, sim::Milliseconds(100), [&](CpuId c) {
+    if (first_fire[static_cast<size_t>(c)] < 0) {
+      first_fire[static_cast<size_t>(c)] = q.Now();
+    }
+  });
+  src.StartAll();
+  q.RunUntil(sim::Milliseconds(300));
+  EXPECT_GT(first_fire[0], 0);
+  EXPECT_GT(first_fire[1], 0);
+  EXPECT_NE(first_fire[0], first_fire[1]);  // phase-staggered
+}
+
+TEST(PerfCounterTest, StopHaltsNmis) {
+  sim::EventQueue q;
+  int fires = 0;
+  PerfCounterNmiSource src(q, 1, sim::Milliseconds(100),
+                           [&](CpuId) { ++fires; });
+  src.Start(0);
+  q.RunUntil(sim::Milliseconds(250));
+  const int seen = fires;
+  EXPECT_GE(seen, 1);
+  src.Stop(0);
+  q.RunUntil(sim::Milliseconds(1000));
+  EXPECT_LE(fires, seen + 1);  // at most one already-queued event
+}
+
+TEST(PlatformTest, ConstructsConfiguredTopology) {
+  PlatformConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.memory_gib = 2;
+  Platform p(cfg, 1);
+  EXPECT_EQ(p.num_cpus(), 4);
+  EXPECT_EQ(p.memory().num_frames(), (2ULL << 30) / 4096);
+}
+
+TEST(PlatformTest, DurationInstructionConversionRoundTrips) {
+  PlatformConfig cfg;
+  Platform p(cfg, 1);
+  const sim::Duration d = p.DurationForInstructions(2500);
+  EXPECT_EQ(d, 1000);  // 2500 instr at 0.4 ns = 1 us
+  EXPECT_EQ(p.CyclesForDuration(d), 2500u);
+}
+
+TEST(PlatformTest, ApicFireRaisesTimerVector) {
+  PlatformConfig cfg;
+  cfg.num_cpus = 2;
+  Platform p(cfg, 1);
+  p.apic(1).Program(100);
+  p.queue().RunUntil(100);
+  EXPECT_TRUE(p.intc().Pending(1, vec::kTimer));
+  EXPECT_FALSE(p.intc().Pending(0, vec::kTimer));
+}
+
+TEST(PlatformTest, HvStepHookInvoked) {
+  PlatformConfig cfg;
+  Platform p(cfg, 1);
+  std::uint64_t seen = 0;
+  p.SetHvStepHook([&](Cpu&, std::uint64_t n) { seen += n; });
+  p.OnHvStep(p.cpu(0), 40);
+  p.OnHvStep(p.cpu(0), 2);
+  EXPECT_EQ(seen, 42u);
+  p.ClearHvStepHook();
+  p.OnHvStep(p.cpu(0), 100);
+  EXPECT_EQ(seen, 42u);
+}
+
+}  // namespace
+}  // namespace nlh::hw

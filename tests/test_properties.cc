@@ -1,0 +1,124 @@
+// Cross-cutting property tests over whole fault-injection runs.
+//
+// These sweep seeds (TEST_P) and assert invariants that must hold for ANY
+// injected fault — the simulator-level analogue of the paper's claim that
+// the enhancements make recovery safe on arbitrarily damaged state.
+#include <gtest/gtest.h>
+
+#include "core/target_system.h"
+
+namespace nlh {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  inject::FaultType fault;
+  core::Mechanism mechanism;
+};
+
+class RunSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RunSweep, InvariantsHoldAfterAnyRun) {
+  const SweepParam p = GetParam();
+  core::RunConfig cfg;
+  cfg.mechanism = p.mechanism;
+  cfg.fault = p.fault;
+  cfg.seed = p.seed;
+  core::TargetSystem sys(cfg);
+  const core::RunResult r = sys.Run();
+
+  // 1. A classified run is exactly one of the three outcome classes, and
+  //    success is only meaningful for detected runs.
+  if (r.outcome != core::OutcomeClass::kDetected) {
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.recoveries, 0);
+  }
+
+  // 2. A successful recovery implies a live, lock-free hypervisor.
+  if (r.success) {
+    EXPECT_FALSE(r.system_dead);
+    EXPECT_EQ(sys.hv().static_locks().HeldCount(), 0);
+    EXPECT_EQ(sys.hv().heap().HeldLockCount(), 0);
+    for (const auto& pc : sys.hv().percpu()) {
+      EXPECT_EQ(pc.local_irq_count, 0);
+    }
+    // Scheduling metadata consistent after the dust settles.
+    EXPECT_TRUE(hv::SchedMetadataConsistent(sys.hv().percpu(),
+                                            sys.hv().vcpus()));
+  }
+
+  // 3. The frame scan ran during recovery: a successful NiLiHype/ReHype
+  //    run leaves no descriptor inconsistencies among *live* frames.
+  if (r.success) {
+    EXPECT_EQ(sys.hv().frames().CountInconsistent(), 0u);
+  }
+
+  // 4. Recovery latency matches the mechanism's model whenever recovery ran
+  //    to completion.
+  if (r.recoveries > 0 &&
+      !sys.recovery_manager()->reports().front().gave_up) {
+    const double ms = sim::ToMillisF(r.first_recovery_latency);
+    if (p.mechanism == core::Mechanism::kNiLiHype) {
+      EXPECT_GT(ms, 20.0);
+      EXPECT_LT(ms, 25.0);
+    } else {
+      EXPECT_GT(ms, 690.0);
+      EXPECT_LT(ms, 740.0);
+    }
+  }
+
+  // 5. Determinism: re-running the same seed reproduces the outcome.
+  core::TargetSystem sys2(cfg);
+  const core::RunResult r2 = sys2.Run();
+  EXPECT_EQ(r.outcome, r2.outcome);
+  EXPECT_EQ(r.success, r2.success);
+  EXPECT_EQ(r.no_vm_failures, r2.no_vm_failures);
+}
+
+std::vector<SweepParam> MakeSweep() {
+  std::vector<SweepParam> params;
+  for (std::uint64_t seed = 9000; seed < 9012; ++seed) {
+    for (const inject::FaultType f :
+         {inject::FaultType::kFailstop, inject::FaultType::kRegister,
+          inject::FaultType::kCode}) {
+      params.push_back({seed, f, core::Mechanism::kNiLiHype});
+    }
+    if (seed % 3 == 0) {
+      params.push_back({seed, inject::FaultType::kFailstop,
+                        core::Mechanism::kReHype});
+      params.push_back({seed, inject::FaultType::kCode,
+                        core::Mechanism::kReHype});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultRuns, RunSweep, ::testing::ValuesIn(MakeSweep()));
+
+// Property: the Table I monotonicity — each cumulative enhancement level
+// can only help. Checked coarsely over a small campaign per level.
+TEST(EnhancementMonotonicity, MoreEnhancementsNeverHurtMuch) {
+  double prev = -1.0;
+  for (int row = 0; row <= 6; row += 2) {
+    core::RunConfig cfg =
+        core::RunConfig::OneAppVm(guest::BenchmarkKind::kUnixBench);
+    cfg.mechanism = core::Mechanism::kNiLiHype;
+    cfg.enhancements = recovery::EnhancementSet::TableISimple(row);
+    cfg.fault = inject::FaultType::kFailstop;
+    int succ = 0;
+    const int kRuns = 25;
+    for (int i = 0; i < kRuns; ++i) {
+      cfg.seed = 4000 + static_cast<std::uint64_t>(i);
+      core::TargetSystem sys(cfg);
+      succ += sys.Run().success ? 1 : 0;
+    }
+    const double rate = succ / double(kRuns);
+    // Allow small-sample noise, but the trend must be upward.
+    EXPECT_GE(rate, prev - 0.15) << "row " << row;
+    prev = std::max(prev, rate);
+  }
+  EXPECT_GT(prev, 0.8);  // fully enhanced recovers the large majority
+}
+
+}  // namespace
+}  // namespace nlh

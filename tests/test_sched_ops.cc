@@ -1,0 +1,177 @@
+// Unit & property tests for runqueue primitives and scheduling-metadata
+// repair (hv/sched_ops.h) — the "Ensure consistency within scheduling
+// metadata" enhancement of Section V-A.
+#include <gtest/gtest.h>
+
+#include "hv/panic.h"
+#include "hv/sched_ops.h"
+#include "sim/rng.h"
+
+namespace nlh::hv {
+namespace {
+
+struct SchedFixture : ::testing::Test {
+  SchedFixture() {
+    for (int c = 0; c < 4; ++c) pcpus.emplace_back(c);
+    for (VcpuId v = 0; v < 6; ++v) {
+      Vcpu vc;
+      vc.id = v;
+      vc.domain = v;
+      vc.pinned_cpu = v % 4;
+      vc.state = VcpuState::kRunnable;
+      vcpus.push_back(vc);
+    }
+  }
+  PerCpuList pcpus;
+  std::vector<Vcpu> vcpus;
+};
+
+TEST_F(SchedFixture, InsertPopFifo) {
+  RunqueueInsert(pcpus[0], vcpus, 0);
+  RunqueueInsert(pcpus[0], vcpus, 4);
+  EXPECT_EQ(pcpus[0].rq_len, 2);
+  EXPECT_TRUE(RunqueueValid(pcpus[0], vcpus));
+  EXPECT_EQ(RunqueuePop(pcpus[0], vcpus), 0);
+  EXPECT_EQ(RunqueuePop(pcpus[0], vcpus), 4);
+  EXPECT_EQ(RunqueuePop(pcpus[0], vcpus), kInvalidVcpu);
+  EXPECT_EQ(pcpus[0].rq_len, 0);
+}
+
+TEST_F(SchedFixture, DoubleInsertAsserts) {
+  RunqueueInsert(pcpus[0], vcpus, 0);
+  EXPECT_THROW(RunqueueInsert(pcpus[0], vcpus, 0), HvPanic);
+}
+
+TEST_F(SchedFixture, RemoveMiddleRelinksNeighbors) {
+  RunqueueInsert(pcpus[0], vcpus, 0);
+  RunqueueInsert(pcpus[0], vcpus, 4);
+  RunqueueInsert(pcpus[0], vcpus, 5);
+  RunqueueRemove(pcpus[0], vcpus, 4);
+  EXPECT_TRUE(RunqueueValid(pcpus[0], vcpus));
+  EXPECT_EQ(RunqueuePop(pcpus[0], vcpus), 0);
+  EXPECT_EQ(RunqueuePop(pcpus[0], vcpus), 5);
+}
+
+TEST_F(SchedFixture, RemoveUnqueuedAsserts) {
+  EXPECT_THROW(RunqueueRemove(pcpus[0], vcpus, 1), HvPanic);
+}
+
+TEST_F(SchedFixture, WildLinkDetectedOnWalkAndPop) {
+  RunqueueInsert(pcpus[0], vcpus, 0);
+  vcpus[0].rq_next = 999;  // stray write
+  EXPECT_FALSE(RunqueueValid(pcpus[0], vcpus));
+}
+
+TEST_F(SchedFixture, ConsistencyDetectsCurrMismatch) {
+  // CPU0 claims vcpu0 but vcpu0 doesn't agree.
+  pcpus[0].curr = 0;
+  vcpus[0].running_on = 2;
+  vcpus[0].is_current = true;
+  vcpus[0].state = VcpuState::kRunning;
+  EXPECT_FALSE(SchedMetadataConsistent(pcpus, vcpus));
+}
+
+TEST_F(SchedFixture, ConsistencyDetectsRunningNowhere) {
+  vcpus[3].state = VcpuState::kRunning;  // no CPU claims it
+  EXPECT_FALSE(SchedMetadataConsistent(pcpus, vcpus));
+}
+
+TEST_F(SchedFixture, ConsistentConfigurationPasses) {
+  pcpus[1].curr = 1;
+  vcpus[1].running_on = 1;
+  vcpus[1].is_current = true;
+  vcpus[1].state = VcpuState::kRunning;
+  RunqueueInsert(pcpus[2], vcpus, 2);
+  EXPECT_TRUE(SchedMetadataConsistent(pcpus, vcpus));
+}
+
+TEST_F(SchedFixture, RepairUsesPerCpuAsTruth) {
+  // Per-CPU says vcpu1 runs on CPU1; the per-vCPU copies disagree wildly.
+  pcpus[1].curr = 1;
+  vcpus[1].running_on = 3;
+  vcpus[1].is_current = false;
+  vcpus[1].state = VcpuState::kBlocked;
+  RepairSchedMetadata(pcpus, vcpus);
+  EXPECT_EQ(vcpus[1].running_on, 1);
+  EXPECT_TRUE(vcpus[1].is_current);
+  EXPECT_EQ(vcpus[1].state, VcpuState::kRunning);
+  EXPECT_TRUE(SchedMetadataConsistent(pcpus, vcpus));
+}
+
+TEST_F(SchedFixture, RepairResolvesDuplicateClaims) {
+  pcpus[0].curr = 1;
+  pcpus[1].curr = 1;  // two CPUs claim the same vCPU (pinned to cpu1)
+  RepairSchedMetadata(pcpus, vcpus);
+  EXPECT_TRUE(SchedMetadataConsistent(pcpus, vcpus));
+  EXPECT_EQ(pcpus[1].curr, 1);  // the pin breaks the tie
+  EXPECT_EQ(pcpus[0].curr, kInvalidVcpu);
+}
+
+TEST_F(SchedFixture, RepairRequeuesOrphanedRunnables) {
+  vcpus[2].state = VcpuState::kRunning;  // claims to run, nobody agrees
+  RepairSchedMetadata(pcpus, vcpus);
+  EXPECT_EQ(vcpus[2].state, VcpuState::kRunnable);
+  EXPECT_TRUE(vcpus[2].rq_queued);
+  EXPECT_TRUE(RunqueueValid(pcpus[2], vcpus));
+}
+
+TEST_F(SchedFixture, RepairReleasesSchedLocks) {
+  pcpus[2].sched_lock.Acquire(2);
+  RepairSchedMetadata(pcpus, vcpus);
+  EXPECT_FALSE(pcpus[2].sched_lock.held());
+}
+
+TEST_F(SchedFixture, RepairSanitizesWildCurr) {
+  pcpus[0].curr = 999;
+  RepairSchedMetadata(pcpus, vcpus);
+  EXPECT_EQ(pcpus[0].curr, kInvalidVcpu);
+  EXPECT_TRUE(SchedMetadataConsistent(pcpus, vcpus));
+}
+
+// Property: ANY random scrambling of the scheduling metadata is repaired to
+// a consistent state with valid runqueues — repair must be safe on
+// arbitrarily mangled input (Section V-A).
+class SchedRepairFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedRepairFuzz, RepairAlwaysConverges) {
+  sim::Rng rng(GetParam());
+  PerCpuList pcpus;
+  for (int c = 0; c < 8; ++c) pcpus.emplace_back(c);
+  std::vector<Vcpu> vcpus;
+  for (VcpuId v = 0; v < 10; ++v) {
+    Vcpu vc;
+    vc.id = v;
+    vc.pinned_cpu = static_cast<hw::CpuId>(v % 8);
+    vc.state = VcpuState::kRunnable;
+    vcpus.push_back(vc);
+  }
+  // Start from a sane state, then scramble everything.
+  for (Vcpu& vc : vcpus) {
+    if (rng.Chance(0.5)) RunqueueInsert(pcpus[static_cast<std::size_t>(vc.pinned_cpu)], vcpus, vc.id);
+  }
+  for (int i = 0; i < 50; ++i) {
+    switch (rng.Index(6)) {
+      case 0: pcpus[rng.Index(8)].curr = static_cast<VcpuId>(rng.Range(-2, 12)); break;
+      case 1: vcpus[rng.Index(10)].running_on = static_cast<hw::CpuId>(rng.Range(-2, 10)); break;
+      case 2: vcpus[rng.Index(10)].is_current ^= true; break;
+      case 3: vcpus[rng.Index(10)].state = static_cast<VcpuState>(rng.Index(4)); break;
+      case 4: vcpus[rng.Index(10)].rq_next = static_cast<VcpuId>(rng.Range(-1, 12)); break;
+      case 5: if (rng.Chance(0.3)) pcpus[rng.Index(8)].sched_lock.ForceRelease(),
+                  pcpus[rng.Index(8)].rq_head = static_cast<VcpuId>(rng.Range(-1, 12));
+              break;
+    }
+  }
+  RepairSchedMetadata(pcpus, vcpus);
+  EXPECT_TRUE(SchedMetadataConsistent(pcpus, vcpus)) << "seed " << GetParam();
+  for (const PerCpuData& pc : pcpus) {
+    EXPECT_TRUE(RunqueueValid(pc, vcpus)) << "seed " << GetParam();
+  }
+  // Repair is idempotent.
+  const int again = RepairSchedMetadata(pcpus, vcpus);
+  EXPECT_EQ(again, 0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedRepairFuzz, ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace nlh::hv

@@ -1,0 +1,141 @@
+// Unit tests for spinlocks, the static-lock registry and the static data
+// segment (hv/spinlock.h, hv/static_data.h).
+#include <gtest/gtest.h>
+
+#include "hv/panic.h"
+#include "hv/spinlock.h"
+#include "hv/static_data.h"
+
+namespace nlh::hv {
+namespace {
+
+TEST(SpinLockTest, AcquireRelease) {
+  SpinLock l("test");
+  EXPECT_FALSE(l.held());
+  l.Acquire(2);
+  EXPECT_TRUE(l.held());
+  EXPECT_EQ(l.holder(), 2);
+  l.Release(2);
+  EXPECT_FALSE(l.held());
+  EXPECT_EQ(l.acquisitions(), 1u);
+}
+
+TEST(SpinLockTest, SecondAcquireHangs) {
+  // A lock stranded by an abandoned thread makes the next acquirer spin
+  // forever — modeled as HvHang, visible only to the NMI watchdog.
+  SpinLock l("stranded");
+  l.Acquire(0);
+  EXPECT_THROW(l.Acquire(1), HvHang);
+  EXPECT_THROW(l.Acquire(0), HvHang);  // even the same CPU (self-deadlock)
+}
+
+TEST(SpinLockTest, ReleaseByNonHolderAsserts) {
+  SpinLock l("x");
+  l.Acquire(0);
+  EXPECT_THROW(l.Release(1), HvPanic);
+}
+
+TEST(SpinLockTest, ForceReleaseIgnoresHolder) {
+  SpinLock l("x");
+  l.Acquire(3);
+  l.ForceRelease();
+  EXPECT_FALSE(l.held());
+  l.Acquire(1);  // usable again
+  EXPECT_EQ(l.holder(), 1);
+}
+
+TEST(StaticLockRegistryTest, ForceReleaseAllCountsHeld) {
+  SpinLock a("a"), b("b"), c("c");
+  StaticLockRegistry reg;
+  reg.Register(&a);
+  reg.Register(&b);
+  reg.Register(&c);
+  a.Acquire(0);
+  c.Acquire(1);
+  EXPECT_EQ(reg.HeldCount(), 2);
+  EXPECT_EQ(reg.ForceReleaseAll(), 2);
+  EXPECT_EQ(reg.HeldCount(), 0);
+  EXPECT_EQ(reg.ForceReleaseAll(), 0);  // idempotent
+}
+
+TEST(LockGuardTest, ReleasesOnScopeExit) {
+  SpinLock l("g");
+  {
+    LockGuard guard(l, 0);
+    EXPECT_TRUE(l.held());
+  }
+  EXPECT_FALSE(l.held());
+}
+
+TEST(LockGuardTest, LeakKeepsHeld) {
+  SpinLock l("g");
+  {
+    LockGuard guard(l, 0);
+    guard.Leak();  // abandoned-thread semantics
+  }
+  EXPECT_TRUE(l.held());
+}
+
+TEST(StaticDataTest, CleanUseIsSilent) {
+  StaticDataSegment s;
+  for (int i = 0; i < kNumStaticVars; ++i) {
+    EXPECT_NO_THROW(s.Use(static_cast<StaticVar>(i)));
+  }
+  EXPECT_EQ(s.CorruptedCount(), 0);
+}
+
+TEST(StaticDataTest, CorruptPointerLikeVarPanicsOnUse) {
+  StaticDataSegment s;
+  s.Corrupt(StaticVar::kSchedOpsPtr);
+  EXPECT_THROW(s.Use(StaticVar::kSchedOpsPtr), HvPanic);
+}
+
+TEST(StaticDataTest, CorruptTimeStateHangsOnUse) {
+  StaticDataSegment s;
+  s.Corrupt(StaticVar::kTscKhz);
+  EXPECT_THROW(s.Use(StaticVar::kTscKhz), HvHang);
+}
+
+TEST(StaticDataTest, BenignVarToleratesCorruption) {
+  StaticDataSegment s;
+  s.Corrupt(StaticVar::kConsoleState);
+  EXPECT_NO_THROW(s.Use(StaticVar::kConsoleState));
+  EXPECT_EQ(s.CorruptedCount(), 1);
+}
+
+TEST(StaticDataTest, RebootRestoresOnlyNonPreserved) {
+  StaticDataSegment s;
+  // Non-preserved: re-derived by a fresh boot.
+  s.Corrupt(StaticVar::kTscKhz);
+  s.Corrupt(StaticVar::kIrqDescTable);
+  // Preserved: carries live-VM information, reboot copies it back as-is.
+  s.Corrupt(StaticVar::kDomainListHead);
+  EXPECT_EQ(s.CorruptedCount(), 3);
+
+  s.RebootRestore();  // ReHype's boot + preserved-subset copy-back
+  EXPECT_FALSE(s.corrupted(StaticVar::kTscKhz));
+  EXPECT_FALSE(s.corrupted(StaticVar::kIrqDescTable));
+  EXPECT_TRUE(s.corrupted(StaticVar::kDomainListHead));
+}
+
+TEST(StaticDataTest, RepairabilityMatchesPreservation) {
+  StaticDataSegment s;
+  EXPECT_FALSE(s.RebootRepairs(StaticVar::kDomainListHead));
+  EXPECT_FALSE(s.RebootRepairs(StaticVar::kFrameTableBase));
+  EXPECT_FALSE(s.RebootRepairs(StaticVar::kHeapMetadataPtr));
+  EXPECT_FALSE(s.RebootRepairs(StaticVar::kEvtchnBucketPtr));
+  EXPECT_TRUE(s.RebootRepairs(StaticVar::kTscKhz));
+  EXPECT_TRUE(s.RebootRepairs(StaticVar::kSchedOpsPtr));
+  EXPECT_TRUE(s.RebootRepairs(StaticVar::kIoApicRoute));
+}
+
+TEST(StaticDataTest, ResetAllClearsEverything) {
+  StaticDataSegment s;
+  s.Corrupt(StaticVar::kDomainListHead);
+  s.Corrupt(StaticVar::kTscKhz);
+  s.ResetAll();
+  EXPECT_EQ(s.CorruptedCount(), 0);
+}
+
+}  // namespace
+}  // namespace nlh::hv

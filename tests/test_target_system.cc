@@ -1,0 +1,140 @@
+// End-to-end tests of the TargetSystem and campaign runner: the headline
+// behaviors of the paper as single runs.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/campaign.h"
+#include "core/target_system.h"
+
+namespace nlh::core {
+namespace {
+
+TEST(TargetSystemTest, FaultFree3AppVmIsNonManifested) {
+  RunConfig cfg;
+  cfg.inject = false;
+  cfg.seed = 12;
+  TargetSystem sys(cfg);
+  const RunResult r = sys.Run();
+  EXPECT_EQ(r.outcome, OutcomeClass::kNonManifested);
+  EXPECT_EQ(r.recoveries, 0);
+  EXPECT_FALSE(r.system_dead);
+  EXPECT_TRUE(r.privvm_ok);
+  EXPECT_EQ(r.AffectedVmCount(), 0);
+}
+
+TEST(TargetSystemTest, FailstopNiLiHypeRecoversIn22ms) {
+  RunConfig cfg;
+  cfg.mechanism = Mechanism::kNiLiHype;
+  cfg.fault = inject::FaultType::kFailstop;
+  cfg.seed = 12;
+  TargetSystem sys(cfg);
+  const RunResult r = sys.Run();
+  EXPECT_EQ(r.outcome, OutcomeClass::kDetected);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.no_vm_failures);
+  EXPECT_NEAR(sim::ToMillisF(r.first_recovery_latency), 22.0, 1.5);
+  EXPECT_TRUE(r.vm3_attempted);
+  EXPECT_TRUE(r.vm3_ok);
+}
+
+TEST(TargetSystemTest, FailstopReHypeRecoversIn713ms) {
+  RunConfig cfg;
+  cfg.mechanism = Mechanism::kReHype;
+  cfg.fault = inject::FaultType::kFailstop;
+  cfg.seed = 12;
+  TargetSystem sys(cfg);
+  const RunResult r = sys.Run();
+  EXPECT_TRUE(r.success);
+  EXPECT_NEAR(sim::ToMillisF(r.first_recovery_latency), 713.0, 20.0);
+}
+
+TEST(TargetSystemTest, NoMechanismMeansTotalLoss) {
+  RunConfig cfg;
+  cfg.mechanism = Mechanism::kNone;
+  cfg.fault = inject::FaultType::kFailstop;
+  cfg.seed = 12;
+  TargetSystem sys(cfg);
+  const RunResult r = sys.Run();
+  EXPECT_TRUE(r.system_dead);
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.AffectedVmCount(), 0);
+}
+
+TEST(TargetSystemTest, NetBenchServiceGapTracksRecoveryLatency) {
+  RunConfig cfg = RunConfig::OneAppVm(guest::BenchmarkKind::kNetBench);
+  cfg.mechanism = Mechanism::kNiLiHype;
+  cfg.fault = inject::FaultType::kFailstop;
+  cfg.netbench_duration = sim::Milliseconds(2500);
+  cfg.run_deadline = sim::Seconds(4);
+  cfg.seed = 21;
+  TargetSystem sys(cfg);
+  const RunResult r = sys.Run();
+  ASSERT_EQ(r.recoveries, 1);
+  // The sender-observed interruption is the recovery latency plus a little
+  // detection/drain noise (Section VII-B methodology).
+  EXPECT_GE(r.net_max_gap, r.first_recovery_latency);
+  EXPECT_LE(r.net_max_gap, r.first_recovery_latency + sim::Milliseconds(8));
+}
+
+TEST(TargetSystemTest, DeterministicForSeed) {
+  for (inject::FaultType f :
+       {inject::FaultType::kRegister, inject::FaultType::kCode}) {
+    RunConfig cfg;
+    cfg.fault = f;
+    cfg.seed = 77;
+    TargetSystem a(cfg), b(cfg);
+    const RunResult ra = a.Run();
+    const RunResult rb = b.Run();
+    EXPECT_EQ(ra.outcome, rb.outcome);
+    EXPECT_EQ(ra.success, rb.success);
+    EXPECT_EQ(ra.recoveries, rb.recoveries);
+    EXPECT_EQ(ra.first_recovery_latency, rb.first_recovery_latency);
+  }
+}
+
+TEST(TargetSystemTest, Vm3NotAttemptedWithoutDetection) {
+  RunConfig cfg;
+  cfg.inject = false;
+  cfg.seed = 5;
+  TargetSystem sys(cfg);
+  const RunResult r = sys.Run();
+  EXPECT_FALSE(r.vm3_attempted);
+}
+
+TEST(CampaignTest, ProportionMath) {
+  Proportion p;
+  p.numer = 95;
+  p.denom = 100;
+  EXPECT_DOUBLE_EQ(p.Value(), 0.95);
+  EXPECT_NEAR(p.HalfWidth95(), 1.96 * std::sqrt(0.95 * 0.05 / 100), 1e-9);
+  EXPECT_EQ(Proportion{}.Value(), 0.0);
+}
+
+TEST(CampaignTest, AggregatesAndIsDeterministic) {
+  RunConfig cfg = RunConfig::OneAppVm(guest::BenchmarkKind::kUnixBench);
+  cfg.fault = inject::FaultType::kFailstop;
+  CampaignOptions opts;
+  opts.runs = 10;
+  opts.seed0 = 42;
+  opts.threads = 2;
+  const CampaignResult a = RunCampaign(cfg, opts);
+  const CampaignResult b = RunCampaign(cfg, opts);
+  EXPECT_EQ(a.runs, 10);
+  EXPECT_EQ(a.detected, 10);  // failstop always detected
+  EXPECT_EQ(a.success.numer, b.success.numer);
+  EXPECT_EQ(a.non_manifested, b.non_manifested);
+}
+
+TEST(CampaignTest, RegisterFaultsMostlyNonManifested) {
+  RunConfig cfg;
+  cfg.fault = inject::FaultType::kRegister;
+  CampaignOptions opts;
+  opts.runs = 60;
+  opts.seed0 = 500;
+  const CampaignResult r = RunCampaign(cfg, opts);
+  EXPECT_GT(r.NonManifestedRate(), 0.6);  // paper: 74.8%
+  EXPECT_LT(r.DetectedRate(), 0.35);      // paper: 19.6%
+}
+
+}  // namespace
+}  // namespace nlh::core

@@ -1,0 +1,129 @@
+// Unit & property tests for the software timer heap (hv/timer_heap.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hv/panic.h"
+#include "hv/timer_heap.h"
+#include "sim/rng.h"
+
+namespace nlh::hv {
+namespace {
+
+SoftTimer Mk(const std::string& name, sim::Time deadline,
+             sim::Duration period = 0) {
+  SoftTimer t;
+  t.name = name;
+  t.deadline = deadline;
+  t.period = period;
+  return t;
+}
+
+TEST(TimerHeapTest, PopsInDeadlineOrder) {
+  TimerHeap th(0);
+  th.Insert(Mk("c", 300));
+  th.Insert(Mk("a", 100));
+  th.Insert(Mk("b", 200));
+  SoftTimer t;
+  ASSERT_TRUE(th.PopExpired(1000, &t));
+  EXPECT_EQ(t.name, "a");
+  ASSERT_TRUE(th.PopExpired(1000, &t));
+  EXPECT_EQ(t.name, "b");
+  ASSERT_TRUE(th.PopExpired(1000, &t));
+  EXPECT_EQ(t.name, "c");
+  EXPECT_FALSE(th.PopExpired(1000, &t));
+}
+
+TEST(TimerHeapTest, PopOnlyExpired) {
+  TimerHeap th(0);
+  th.Insert(Mk("later", 500));
+  SoftTimer t;
+  EXPECT_FALSE(th.PopExpired(499, &t));
+  EXPECT_TRUE(th.PopExpired(500, &t));
+}
+
+TEST(TimerHeapTest, NextDeadline) {
+  TimerHeap th(0);
+  EXPECT_EQ(th.NextDeadline(), std::numeric_limits<sim::Time>::max());
+  th.Insert(Mk("x", 700));
+  th.Insert(Mk("y", 400));
+  EXPECT_EQ(th.NextDeadline(), 400);
+}
+
+TEST(TimerHeapTest, RemoveById) {
+  TimerHeap th(0);
+  const TimerId a = th.Insert(Mk("a", 100));
+  th.Insert(Mk("b", 200));
+  EXPECT_TRUE(th.Remove(a));
+  EXPECT_FALSE(th.Remove(a));
+  EXPECT_FALSE(th.Contains(a));
+  EXPECT_EQ(th.NextDeadline(), 200);
+}
+
+TEST(TimerHeapTest, RemoveByName) {
+  TimerHeap th(0);
+  th.Insert(Mk("vtimer:3", 100));
+  th.Insert(Mk("watchdog_tick", 200));
+  EXPECT_TRUE(th.RemoveByName("vtimer:3"));
+  EXPECT_FALSE(th.ContainsName("vtimer:3"));
+  EXPECT_TRUE(th.ContainsName("watchdog_tick"));
+  EXPECT_FALSE(th.RemoveByName("missing"));
+}
+
+TEST(TimerHeapTest, CorruptNegativeDeadlinePanicsOnPop) {
+  TimerHeap th(0);
+  th.Insert(Mk("a", 100));
+  th.CorruptEntry(0, /*push_out=*/false);
+  SoftTimer t;
+  EXPECT_THROW(th.PopExpired(1000, &t), HvPanic);
+}
+
+TEST(TimerHeapTest, CorruptPushOutSilentlyLosesEvent) {
+  TimerHeap th(0);
+  th.Insert(Mk("only", 100));
+  th.CorruptEntry(0, /*push_out=*/true);
+  SoftTimer t;
+  EXPECT_FALSE(th.PopExpired(1'000'000'000, &t));  // never fires in any run
+  EXPECT_EQ(th.size(), 1u);  // the entry is still present (not missing)
+}
+
+TEST(TimerHeapTest, ClearEmptiesHeap) {
+  TimerHeap th(0);
+  th.Insert(Mk("a", 1));
+  th.Insert(Mk("b", 2));
+  th.Clear();
+  EXPECT_TRUE(th.empty());
+}
+
+// Property: random insert/remove/pop sequences always pop in nondecreasing
+// deadline order.
+class TimerHeapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimerHeapFuzz, PopOrderIsMonotone) {
+  sim::Rng rng(GetParam());
+  TimerHeap th(0);
+  std::vector<TimerId> live;
+  for (int op = 0; op < 200; ++op) {
+    const int what = static_cast<int>(rng.Index(3));
+    if (what == 0 || live.empty()) {
+      live.push_back(th.Insert(Mk("t", rng.Range(0, 10000))));
+    } else if (what == 1) {
+      const std::size_t i = rng.Index(live.size());
+      th.Remove(live[i]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      sim::Time last = -1;
+      SoftTimer t;
+      while (th.PopExpired(rng.Range(0, 10000), &t)) {
+        ASSERT_GE(t.deadline, last) << "seed " << GetParam();
+        last = t.deadline;
+        live.erase(std::remove(live.begin(), live.end(), t.id), live.end());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimerHeapFuzz, ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace nlh::hv
