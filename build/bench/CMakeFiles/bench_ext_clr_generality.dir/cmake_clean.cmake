@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_clr_generality.dir/bench_ext_clr_generality.cc.o"
+  "CMakeFiles/bench_ext_clr_generality.dir/bench_ext_clr_generality.cc.o.d"
+  "bench_ext_clr_generality"
+  "bench_ext_clr_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_clr_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hvops.dir/bench_micro_hvops.cc.o"
+  "CMakeFiles/bench_micro_hvops.dir/bench_micro_hvops.cc.o.d"
+  "bench_micro_hvops"
+  "bench_micro_hvops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hvops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

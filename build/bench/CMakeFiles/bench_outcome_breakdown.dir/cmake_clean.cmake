@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outcome_breakdown.dir/bench_outcome_breakdown.cc.o"
+  "CMakeFiles/bench_outcome_breakdown.dir/bench_outcome_breakdown.cc.o.d"
+  "bench_outcome_breakdown"
+  "bench_outcome_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outcome_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

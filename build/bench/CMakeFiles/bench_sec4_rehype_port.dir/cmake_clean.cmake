@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_rehype_port.dir/bench_sec4_rehype_port.cc.o"
+  "CMakeFiles/bench_sec4_rehype_port.dir/bench_sec4_rehype_port.cc.o.d"
+  "bench_sec4_rehype_port"
+  "bench_sec4_rehype_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_rehype_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_enhancements.dir/bench_table1_enhancements.cc.o"
+  "CMakeFiles/bench_table1_enhancements.dir/bench_table1_enhancements.cc.o.d"
+  "bench_table1_enhancements"
+  "bench_table1_enhancements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_enhancements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

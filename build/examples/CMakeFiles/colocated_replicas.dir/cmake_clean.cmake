@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_replicas.dir/colocated_replicas.cpp.o"
+  "CMakeFiles/colocated_replicas.dir/colocated_replicas.cpp.o.d"
+  "colocated_replicas"
+  "colocated_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuvenation.dir/rejuvenation.cpp.o"
+  "CMakeFiles/rejuvenation.dir/rejuvenation.cpp.o.d"
+  "rejuvenation"
+  "rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

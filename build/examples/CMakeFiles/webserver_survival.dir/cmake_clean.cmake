@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_survival.dir/webserver_survival.cpp.o"
+  "CMakeFiles/webserver_survival.dir/webserver_survival.cpp.o.d"
+  "webserver_survival"
+  "webserver_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

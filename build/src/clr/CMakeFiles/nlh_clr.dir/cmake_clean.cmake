@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlh_clr.dir/kv_service.cc.o"
+  "CMakeFiles/nlh_clr.dir/kv_service.cc.o.d"
+  "libnlh_clr.a"
+  "libnlh_clr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlh_clr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlh_core.dir/campaign.cc.o"
+  "CMakeFiles/nlh_core.dir/campaign.cc.o.d"
+  "CMakeFiles/nlh_core.dir/target_system.cc.o"
+  "CMakeFiles/nlh_core.dir/target_system.cc.o.d"
+  "libnlh_core.a"
+  "libnlh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

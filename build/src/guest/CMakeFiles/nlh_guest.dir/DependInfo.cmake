@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/appvm.cc" "src/guest/CMakeFiles/nlh_guest.dir/appvm.cc.o" "gcc" "src/guest/CMakeFiles/nlh_guest.dir/appvm.cc.o.d"
+  "/root/repo/src/guest/devices.cc" "src/guest/CMakeFiles/nlh_guest.dir/devices.cc.o" "gcc" "src/guest/CMakeFiles/nlh_guest.dir/devices.cc.o.d"
+  "/root/repo/src/guest/guest_kernel.cc" "src/guest/CMakeFiles/nlh_guest.dir/guest_kernel.cc.o" "gcc" "src/guest/CMakeFiles/nlh_guest.dir/guest_kernel.cc.o.d"
+  "/root/repo/src/guest/privvm.cc" "src/guest/CMakeFiles/nlh_guest.dir/privvm.cc.o" "gcc" "src/guest/CMakeFiles/nlh_guest.dir/privvm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/nlh_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nlh_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlh_guest.dir/appvm.cc.o"
+  "CMakeFiles/nlh_guest.dir/appvm.cc.o.d"
+  "CMakeFiles/nlh_guest.dir/devices.cc.o"
+  "CMakeFiles/nlh_guest.dir/devices.cc.o.d"
+  "CMakeFiles/nlh_guest.dir/guest_kernel.cc.o"
+  "CMakeFiles/nlh_guest.dir/guest_kernel.cc.o.d"
+  "CMakeFiles/nlh_guest.dir/privvm.cc.o"
+  "CMakeFiles/nlh_guest.dir/privvm.cc.o.d"
+  "libnlh_guest.a"
+  "libnlh_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlh_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

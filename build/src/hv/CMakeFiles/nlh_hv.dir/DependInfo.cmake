@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/frame_table.cc" "src/hv/CMakeFiles/nlh_hv.dir/frame_table.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/frame_table.cc.o.d"
+  "/root/repo/src/hv/heap.cc" "src/hv/CMakeFiles/nlh_hv.dir/heap.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/heap.cc.o.d"
+  "/root/repo/src/hv/hypercall_defs.cc" "src/hv/CMakeFiles/nlh_hv.dir/hypercall_defs.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/hypercall_defs.cc.o.d"
+  "/root/repo/src/hv/hypercalls.cc" "src/hv/CMakeFiles/nlh_hv.dir/hypercalls.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/hypercalls.cc.o.d"
+  "/root/repo/src/hv/hypervisor.cc" "src/hv/CMakeFiles/nlh_hv.dir/hypervisor.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/hypervisor.cc.o.d"
+  "/root/repo/src/hv/sched_ops.cc" "src/hv/CMakeFiles/nlh_hv.dir/sched_ops.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/sched_ops.cc.o.d"
+  "/root/repo/src/hv/static_data.cc" "src/hv/CMakeFiles/nlh_hv.dir/static_data.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/static_data.cc.o.d"
+  "/root/repo/src/hv/timer_heap.cc" "src/hv/CMakeFiles/nlh_hv.dir/timer_heap.cc.o" "gcc" "src/hv/CMakeFiles/nlh_hv.dir/timer_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/nlh_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

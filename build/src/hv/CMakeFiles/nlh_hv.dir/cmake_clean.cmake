@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlh_hv.dir/frame_table.cc.o"
+  "CMakeFiles/nlh_hv.dir/frame_table.cc.o.d"
+  "CMakeFiles/nlh_hv.dir/heap.cc.o"
+  "CMakeFiles/nlh_hv.dir/heap.cc.o.d"
+  "CMakeFiles/nlh_hv.dir/hypercall_defs.cc.o"
+  "CMakeFiles/nlh_hv.dir/hypercall_defs.cc.o.d"
+  "CMakeFiles/nlh_hv.dir/hypercalls.cc.o"
+  "CMakeFiles/nlh_hv.dir/hypercalls.cc.o.d"
+  "CMakeFiles/nlh_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/nlh_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/nlh_hv.dir/sched_ops.cc.o"
+  "CMakeFiles/nlh_hv.dir/sched_ops.cc.o.d"
+  "CMakeFiles/nlh_hv.dir/static_data.cc.o"
+  "CMakeFiles/nlh_hv.dir/static_data.cc.o.d"
+  "CMakeFiles/nlh_hv.dir/timer_heap.cc.o"
+  "CMakeFiles/nlh_hv.dir/timer_heap.cc.o.d"
+  "libnlh_hv.a"
+  "libnlh_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlh_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlh_hw.dir/platform.cc.o"
+  "CMakeFiles/nlh_hw.dir/platform.cc.o.d"
+  "CMakeFiles/nlh_hw.dir/registers.cc.o"
+  "CMakeFiles/nlh_hw.dir/registers.cc.o.d"
+  "libnlh_hw.a"
+  "libnlh_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlh_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

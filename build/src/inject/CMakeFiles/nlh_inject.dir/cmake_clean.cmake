@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlh_inject.dir/injector.cc.o"
+  "CMakeFiles/nlh_inject.dir/injector.cc.o.d"
+  "libnlh_inject.a"
+  "libnlh_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlh_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

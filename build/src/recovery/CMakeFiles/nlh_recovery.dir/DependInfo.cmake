@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/nilihype.cc" "src/recovery/CMakeFiles/nlh_recovery.dir/nilihype.cc.o" "gcc" "src/recovery/CMakeFiles/nlh_recovery.dir/nilihype.cc.o.d"
+  "/root/repo/src/recovery/recovery_common.cc" "src/recovery/CMakeFiles/nlh_recovery.dir/recovery_common.cc.o" "gcc" "src/recovery/CMakeFiles/nlh_recovery.dir/recovery_common.cc.o.d"
+  "/root/repo/src/recovery/rehype.cc" "src/recovery/CMakeFiles/nlh_recovery.dir/rehype.cc.o" "gcc" "src/recovery/CMakeFiles/nlh_recovery.dir/rehype.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/nlh_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nlh_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

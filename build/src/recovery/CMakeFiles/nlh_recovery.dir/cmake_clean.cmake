@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlh_recovery.dir/nilihype.cc.o"
+  "CMakeFiles/nlh_recovery.dir/nilihype.cc.o.d"
+  "CMakeFiles/nlh_recovery.dir/recovery_common.cc.o"
+  "CMakeFiles/nlh_recovery.dir/recovery_common.cc.o.d"
+  "CMakeFiles/nlh_recovery.dir/rehype.cc.o"
+  "CMakeFiles/nlh_recovery.dir/rehype.cc.o.d"
+  "libnlh_recovery.a"
+  "libnlh_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlh_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnlh_recovery.a"
+)

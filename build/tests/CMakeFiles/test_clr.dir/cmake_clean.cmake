@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clr.dir/test_clr.cc.o"
+  "CMakeFiles/test_clr.dir/test_clr.cc.o.d"
+  "test_clr"
+  "test_clr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_detect_inject.cc" "tests/CMakeFiles/test_detect_inject.dir/test_detect_inject.cc.o" "gcc" "tests/CMakeFiles/test_detect_inject.dir/test_detect_inject.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nlh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clr/CMakeFiles/nlh_clr.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/nlh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/nlh_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/nlh_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/nlh_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nlh_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_inject.dir/test_detect_inject.cc.o"
+  "CMakeFiles/test_detect_inject.dir/test_detect_inject.cc.o.d"
+  "test_detect_inject"
+  "test_detect_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv_components.dir/test_hv_components.cc.o"
+  "CMakeFiles/test_hv_components.dir/test_hv_components.cc.o.d"
+  "test_hv_components"
+  "test_hv_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

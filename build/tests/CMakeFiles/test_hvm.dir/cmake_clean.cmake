@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hvm.dir/test_hvm.cc.o"
+  "CMakeFiles/test_hvm.dir/test_hvm.cc.o.d"
+  "test_hvm"
+  "test_hvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

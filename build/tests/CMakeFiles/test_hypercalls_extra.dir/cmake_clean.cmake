@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypercalls_extra.dir/test_hypercalls_extra.cc.o"
+  "CMakeFiles/test_hypercalls_extra.dir/test_hypercalls_extra.cc.o.d"
+  "test_hypercalls_extra"
+  "test_hypercalls_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypercalls_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypervisor.dir/test_hypervisor.cc.o"
+  "CMakeFiles/test_hypervisor.dir/test_hypervisor.cc.o.d"
+  "test_hypervisor"
+  "test_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_privvm_backend.dir/test_privvm_backend.cc.o"
+  "CMakeFiles/test_privvm_backend.dir/test_privvm_backend.cc.o.d"
+  "test_privvm_backend"
+  "test_privvm_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_privvm_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_ops.dir/test_sched_ops.cc.o"
+  "CMakeFiles/test_sched_ops.dir/test_sched_ops.cc.o.d"
+  "test_sched_ops"
+  "test_sched_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_target_system.dir/test_target_system.cc.o"
+  "CMakeFiles/test_target_system.dir/test_target_system.cc.o.d"
+  "test_target_system"
+  "test_target_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_target_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

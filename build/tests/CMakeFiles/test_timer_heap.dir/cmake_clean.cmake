@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_heap.dir/test_timer_heap.cc.o"
+  "CMakeFiles/test_timer_heap.dir/test_timer_heap.cc.o.d"
+  "test_timer_heap"
+  "test_timer_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
