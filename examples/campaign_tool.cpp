@@ -7,14 +7,35 @@
 //   campaign_tool [--mech=nilihype|rehype|none] [--fault=failstop|register|code]
 //                 [--setup=1appvm|3appvm] [--bench=unix|blk|net]
 //                 [--runs=N] [--seed=N] [--verbose]
+//                 [--trace-out=FILE.json] [--metrics-out=FILE.json]
+//
+// --trace-out replays the campaign's first run (seed0) with span tracing
+// enabled and writes a Chrome trace_event JSON (load in chrome://tracing or
+// Perfetto). --metrics-out writes the campaign aggregate plus the replayed
+// run's metrics registry as JSON.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/campaign.h"
 #include "core/target_system.h"
 
 using namespace nlh;
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   core::RunConfig cfg;
@@ -23,6 +44,8 @@ int main(int argc, char** argv) {
   bool verbose = false;
   guest::BenchmarkKind bench = guest::BenchmarkKind::kUnixBench;
   bool one_appvm = false;
+  std::string trace_out;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -50,6 +73,10 @@ int main(int argc, char** argv) {
       opts.runs = std::atoi(val("--runs="));
     } else if (arg.rfind("--seed=", 0) == 0) {
       opts.seed0 = static_cast<std::uint64_t>(std::atoll(val("--seed=")));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = val("--trace-out=");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = val("--metrics-out=");
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
@@ -79,7 +106,7 @@ int main(int argc, char** argv) {
                   r.outcome == core::OutcomeClass::kDetected
                       ? (r.success ? "recovered" : "FAILED: ")
                       : "",
-                  r.success ? "" : r.failure_reason.c_str());
+                  r.success ? "" : r.failure_detail.c_str());
     };
   }
 
@@ -93,7 +120,40 @@ int main(int argc, char** argv) {
   if (!res.failure_reasons.empty()) {
     std::printf("failure causes:\n");
     for (const auto& [reason, count] : res.failure_reasons) {
-      std::printf("  %4d  %s\n", count, reason.c_str());
+      std::printf("  %4d  %s\n", count, hv::FailureReasonName(reason));
+    }
+  }
+  if (!res.phase_latency.empty()) {
+    std::printf("recovery phase latency (detected runs, ms):\n");
+    for (const core::PhaseAggregate& p : res.phase_latency) {
+      std::printf("  %-26s mean %8.3f  p99 %8.3f  (n=%d)\n", p.phase.c_str(),
+                  p.mean_ms, p.p99_ms, p.samples);
+    }
+    std::printf("  %-26s mean %8.3f  p99 %8.3f  (n=%d)\n", "total",
+                res.total_latency.mean_ms, res.total_latency.p99_ms,
+                res.total_latency.samples);
+  }
+
+  // Replay the first run with tracing enabled for the trace/metrics
+  // artifacts: campaigns run many hypervisors in parallel, so per-run
+  // telemetry comes from a deterministic replay of seed0.
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    core::RunConfig rcfg = cfg;
+    rcfg.seed = opts.seed0;
+    core::TargetSystem sys(rcfg);
+    sys.EnableTracing();
+    sys.Run();
+    if (!trace_out.empty()) {
+      if (!WriteFile(trace_out, sys.hv().tracer().ToChromeJson())) return 1;
+      std::printf("trace (%zu spans) written to %s\n",
+                  sys.hv().tracer().Snapshot().size(), trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::string json = "{\"campaign\":" + res.ToJson() +
+                         ",\"replay_seed0_metrics\":" +
+                         sys.hv().metrics().ToJson() + "}";
+      if (!WriteFile(metrics_out, json)) return 1;
+      std::printf("metrics written to %s\n", metrics_out.c_str());
     }
   }
   return 0;

@@ -33,7 +33,7 @@ void PrintResult(const char* label, const core::RunResult& r) {
   if (r.detected) {
     std::printf("  recovery success:   %s%s%s\n", r.success ? "YES" : "NO",
                 r.success ? "" : " — ",
-                r.success ? "" : r.failure_reason.c_str());
+                r.success ? "" : r.failure_detail.c_str());
   }
   std::printf("\n");
 }

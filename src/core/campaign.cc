@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/target_system.h"
+#include "sim/json.h"
 
 namespace nlh::core {
 
@@ -25,13 +26,81 @@ std::string Proportion::ToString() const {
   return buf;
 }
 
+std::string Proportion::ToJson() const {
+  std::string out = "{\"numer\":" + std::to_string(numer) +
+                    ",\"denom\":" + std::to_string(denom) +
+                    ",\"value\":" + sim::JsonNum(Value(), 6) +
+                    ",\"hw95\":" + sim::JsonNum(HalfWidth95(), 6) + "}";
+  return out;
+}
+
+namespace {
+
+// Nearest-rank quantile on an unsorted copy of the samples.
+double QuantileOf(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+PhaseAggregate Aggregate(const std::string& phase,
+                         const std::vector<double>& samples) {
+  PhaseAggregate agg;
+  agg.phase = phase;
+  agg.samples = static_cast<int>(samples.size());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  agg.mean_ms = samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+  agg.p99_ms = QuantileOf(samples, 0.99);
+  return agg;
+}
+
+std::string PhaseAggToJson(const PhaseAggregate& a) {
+  return "{\"phase\":" + sim::JsonStr(a.phase) +
+         ",\"samples\":" + std::to_string(a.samples) +
+         ",\"mean_ms\":" + sim::JsonNum(a.mean_ms, 6) +
+         ",\"p99_ms\":" + sim::JsonNum(a.p99_ms, 6) + "}";
+}
+
+}  // namespace
+
+std::string CampaignResult::ToJson() const {
+  std::string out = "{";
+  out += "\"runs\":" + std::to_string(runs);
+  out += ",\"non_manifested\":" + std::to_string(non_manifested);
+  out += ",\"sdc\":" + std::to_string(sdc);
+  out += ",\"detected\":" + std::to_string(detected);
+  out += ",\"success\":" + success.ToJson();
+  out += ",\"no_vm_failures\":" + no_vm_failures.ToJson();
+  out += ",\"failure_reasons\":{";
+  for (std::size_t i = 0; i < failure_reasons.size(); ++i) {
+    if (i) out += ",";
+    out += sim::JsonStr(hv::FailureReasonName(failure_reasons[i].first));
+    out += ":" + std::to_string(failure_reasons[i].second);
+  }
+  out += "},\"phase_latency\":[";
+  for (std::size_t i = 0; i < phase_latency.size(); ++i) {
+    if (i) out += ",";
+    out += PhaseAggToJson(phase_latency[i]);
+  }
+  out += "],\"total_latency\":" + PhaseAggToJson(total_latency);
+  out += "}";
+  return out;
+}
+
 CampaignResult RunCampaign(const RunConfig& config,
                            const CampaignOptions& options) {
   CampaignResult result;
   result.runs = options.runs;
 
   std::mutex mu;
-  std::map<std::string, int> reasons;
+  std::map<FailureReason, int> reasons;
+  // Phase samples in first-observed order (matches step execution order).
+  std::vector<std::string> phase_order;
+  std::map<std::string, std::vector<double>> phase_samples;
+  std::vector<double> total_samples;
   std::atomic<int> next{0};
 
   int nthreads = options.threads > 0
@@ -63,12 +132,21 @@ CampaignResult RunCampaign(const RunConfig& config,
           ++result.no_vm_failures.denom;
           if (r.success) ++result.success.numer;
           if (r.no_vm_failures) ++result.no_vm_failures.numer;
-          if (!r.success) {
-            // Key by the first clause of the reason to keep the tally
-            // readable.
-            std::string key = r.failure_reason.substr(
-                0, r.failure_reason.find_first_of(";("));
-            ++reasons[key];
+          if (!r.success) ++reasons[r.failure_reason];
+          if (!r.recovery_phases.empty()) {
+            double total_ms = 0.0;
+            for (const PhaseLatency& p : r.recovery_phases) {
+              auto it = phase_samples.find(p.phase);
+              if (it == phase_samples.end()) {
+                phase_order.push_back(p.phase);
+                it = phase_samples.emplace(p.phase, std::vector<double>{})
+                         .first;
+              }
+              const double ms = sim::ToMillisF(p.latency);
+              it->second.push_back(ms);
+              total_ms += ms;
+            }
+            total_samples.push_back(total_ms);
           }
           break;
       }
@@ -84,6 +162,10 @@ CampaignResult RunCampaign(const RunConfig& config,
   result.failure_reasons.assign(reasons.begin(), reasons.end());
   std::sort(result.failure_reasons.begin(), result.failure_reasons.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const std::string& phase : phase_order) {
+    result.phase_latency.push_back(Aggregate(phase, phase_samples[phase]));
+  }
+  result.total_latency = Aggregate("total", total_samples);
   return result;
 }
 

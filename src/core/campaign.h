@@ -22,6 +22,16 @@ struct Proportion {
   // Normal-approximation 95% half-width, as the paper reports (+/-).
   double HalfWidth95() const;
   std::string ToString() const;  // "95.0% ± 1.4%"
+  std::string ToJson() const;    // {"numer":..,"denom":..,"value":..,"hw95":..}
+};
+
+// Aggregated latency of one recovery phase across the campaign's detected
+// runs (a Table 3 row, with distribution info).
+struct PhaseAggregate {
+  std::string phase;   // stable slug (recovery::RecoveryPhaseName)
+  int samples = 0;
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 struct CampaignResult {
@@ -34,8 +44,17 @@ struct CampaignResult {
   Proportion success;        // successful recovery rate (Figure 2)
   Proportion no_vm_failures;  // noVMF (Figure 2)
 
-  // Failure-reason tally (recovery-failure analysis, Section VII-A).
-  std::vector<std::pair<std::string, int>> failure_reasons;
+  // Failure-reason tally (recovery-failure analysis, Section VII-A), keyed
+  // by the typed reason so aggregation cannot drift on message wording.
+  std::vector<std::pair<FailureReason, int>> failure_reasons;
+
+  // Per-phase recovery latency breakdown (Table 3), in first-observed order.
+  std::vector<PhaseAggregate> phase_latency;
+  // Total recovery latency across detected runs that recovered.
+  PhaseAggregate total_latency;  // phase == "total"
+
+  // Serializes rates, proportions, failure tally, and phase breakdown.
+  std::string ToJson() const;
 
   double NonManifestedRate() const {
     return runs == 0 ? 0 : static_cast<double>(non_manifested) / runs;

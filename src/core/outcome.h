@@ -5,9 +5,22 @@
 #include <string>
 #include <vector>
 
+#include "hv/failure.h"
 #include "sim/time.h"
 
 namespace nlh::core {
+
+// Re-exported so campaign-level code can tally failures without pulling in
+// the whole hypervisor header.
+using FailureReason = hv::FailureReason;
+
+// One recovery step with its simulated latency (a Table III row), copied
+// from the first RecoveryReport of the run.
+struct PhaseLatency {
+  std::string phase;   // stable slug (recovery::RecoveryPhaseName)
+  std::string label;   // human-readable step label
+  sim::Duration latency = 0;
+};
 
 // Top-level fate of the injected fault.
 enum class OutcomeClass {
@@ -31,8 +44,11 @@ struct RunResult {
   bool detected = false;
   int recoveries = 0;
   bool system_dead = false;
+  FailureReason death_code = FailureReason::kNone;
   std::string death_reason;
   sim::Duration first_recovery_latency = 0;
+  // Per-phase latency breakdown of the first recovery (Table 3 rows).
+  std::vector<PhaseLatency> recovery_phases;
 
   // Per-VM verdicts (initial AppVMs only; VM3 reported separately).
   std::vector<VmVerdict> vms;
@@ -45,7 +61,8 @@ struct RunResult {
   // The paper's success metrics (meaningful when detected):
   bool success = false;           // <=1 AppVM affected && hv operational
   bool no_vm_failures = false;    // noVMF: no AppVM affected at all
-  std::string failure_reason;
+  FailureReason failure_reason = FailureReason::kNone;
+  std::string failure_detail;
 
   // NetBench service measurement (when a NetBench VM is present).
   sim::Duration net_max_gap = 0;

@@ -268,9 +268,15 @@ RunResult TargetSystem::Classify() {
   r.recoveries =
       manager_ != nullptr ? static_cast<int>(manager_->reports().size()) : 0;
   r.system_dead = hv_->dead();
+  r.death_code = hv_->death_code();
   r.death_reason = hv_->death_reason();
   if (r.recoveries > 0) {
-    r.first_recovery_latency = manager_->reports().front().total();
+    const recovery::RecoveryReport& first = manager_->reports().front();
+    r.first_recovery_latency = first.total();
+    for (const recovery::StepLatency& s : first.steps) {
+      r.recovery_phases.push_back(
+          {recovery::RecoveryPhaseName(s.phase), s.name, s.latency});
+    }
   }
   r.privvm_ok = !privvm_->crashed();
 
@@ -361,17 +367,24 @@ RunResult TargetSystem::Classify() {
     }
     if (!r.success) {
       if (r.system_dead) {
-        r.failure_reason = "system dead: " + r.death_reason;
+        r.failure_reason = r.death_code != FailureReason::kNone
+                               ? r.death_code
+                               : FailureReason::kSystemDead;
+        r.failure_detail = "system dead: " + r.death_reason;
       } else if (!r.privvm_ok) {
-        r.failure_reason = "PrivVM failed";
+        r.failure_reason = FailureReason::kPrivVmFailed;
+        r.failure_detail = "PrivVM failed";
       } else if (config_.setup == Setup::k3AppVM && !r.vm3_ok) {
-        r.failure_reason = vm3_attempted_
+        r.failure_reason = vm3_attempted_ ? FailureReason::kVm3Failed
+                                          : FailureReason::kVm3NotAttempted;
+        r.failure_detail = vm3_attempted_
                                ? "post-recovery VM creation/BlkBench failed"
                                : "VM3 never attempted";
       } else {
-        r.failure_reason = "too many AppVMs affected";
+        r.failure_reason = FailureReason::kTooManyVmsAffected;
+        r.failure_detail = "too many AppVMs affected";
         for (const VmVerdict& v : r.vms) {
-          if (v.affected) r.failure_reason += "; " + v.name + ": " + v.why;
+          if (v.affected) r.failure_detail += "; " + v.name + ": " + v.why;
         }
       }
     }

@@ -44,6 +44,12 @@ class TargetSystem {
   void EnableTimeline() { timeline_.Enable(); }
   const Timeline& timeline() const { return timeline_; }
 
+  // Enables trace-span recording on the hypervisor (off by default; see
+  // sim/trace.h). Call before Run(); export with hv().tracer().ToChromeJson().
+  void EnableTracing(std::size_t capacity = 1 << 16) {
+    hv_->tracer().Enable(capacity);
+  }
+
   // --- Component access (tests, examples, benches) --------------------------
   hw::Platform& platform() { return *platform_; }
   hv::Hypervisor& hv() { return *hv_; }

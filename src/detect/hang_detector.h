@@ -43,9 +43,14 @@ class HangDetector {
     if (++misses_[i] < misses_to_hang_) return;
     misses_[i] = 0;
     ++hangs_detected_;
-    hv_.ReportError(cpu, hv::DetectionKind::kHang,
-                    "watchdog: soft counter stalled on cpu" +
-                        std::to_string(cpu));
+    hv::DetectionEvent ev;
+    ev.cpu = cpu;
+    ev.kind = hv::DetectionKind::kHang;
+    ev.code = hv::FailureCode::kWatchdogStall;
+    ev.when = hv_.Now();
+    ev.detail =
+        "watchdog: soft counter stalled on cpu" + std::to_string(cpu);
+    hv_.ReportError(std::move(ev));
   }
 
   // Recovery clears detector history so a frozen interval does not count.

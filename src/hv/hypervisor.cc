@@ -11,11 +11,66 @@ namespace {
 constexpr EventPort kVirqTimerPort = 0;  // bit 0 of the pending bitmap
 }  // namespace
 
+// Traces a scope whose simulated duration is the instruction cost an
+// OpContext accumulates while the span is open (simulated time itself does
+// not advance inside a slice). No-op when tracing is disabled.
+class CtxSpan {
+ public:
+  CtxSpan(Hypervisor& hv, const OpContext& ctx, std::string name,
+          hw::CpuId cpu)
+      : hv_(hv), ctx_(ctx) {
+    if (hv.tracer().enabled()) {
+      start_ = hv.Now();
+      instr0_ = ctx.instructions();
+      id_ = hv.tracer().Begin(std::move(name), cpu, start_);
+    }
+  }
+  CtxSpan(const CtxSpan&) = delete;
+  CtxSpan& operator=(const CtxSpan&) = delete;
+  ~CtxSpan() {
+    if (id_ != 0) {
+      hv_.tracer().End(id_, start_ + hv_.platform().DurationForInstructions(
+                                         ctx_.instructions() - instr0_));
+    }
+  }
+
+ private:
+  Hypervisor& hv_;
+  const OpContext& ctx_;
+  sim::Time start_ = 0;
+  std::uint64_t instr0_ = 0;
+  std::uint32_t id_ = 0;
+};
+
 Hypervisor::Hypervisor(hw::Platform& platform, const HvConfig& config)
     : platform_(platform),
       config_(config),
       frames_(config.frame_table_frames),
-      heap_(frames_) {}
+      heap_(frames_) {
+  c_hypercalls_ = &metrics_.GetCounter("hv.hypercalls");
+  c_syscall_forwards_ = &metrics_.GetCounter("hv.syscall_forwards");
+  c_interrupts_ = &metrics_.GetCounter("hv.interrupts");
+  c_schedules_ = &metrics_.GetCounter("hv.schedules");
+  c_timer_softirqs_ = &metrics_.GetCounter("hv.timer_softirqs");
+  c_idle_polls_ = &metrics_.GetCounter("hv.idle_polls");
+  c_events_sent_ = &metrics_.GetCounter("hv.events_sent");
+  c_detections_ = &metrics_.GetCounter("hv.detections");
+  c_recoveries_ = &metrics_.GetCounter("hv.recoveries");
+}
+
+HvStats Hypervisor::stats() const {
+  HvStats s;
+  s.hypercalls = c_hypercalls_->value();
+  s.syscall_forwards = c_syscall_forwards_->value();
+  s.interrupts = c_interrupts_->value();
+  s.schedules = c_schedules_->value();
+  s.timer_softirqs = c_timer_softirqs_->value();
+  s.idle_polls = c_idle_polls_->value();
+  s.events_sent = c_events_sent_->value();
+  s.detections = c_detections_->value();
+  s.recoveries = c_recoveries_->value();
+  return s;
+}
 
 // ---------------------------------------------------------------------------
 // Boot and domain setup
@@ -213,6 +268,7 @@ void Hypervisor::RearmVcpuTimers() {
 }
 
 int Hypervisor::ReactivateRecurringEvents() {
+  tracer_.Instant("hv.reactivate_recurring_events", 0, Now());
   int missing = 0;
   for (int c = 0; c < platform_.num_cpus(); ++c) {
     EnsureRecurring(c, "watchdog_tick", config_.watchdog_tick_period,
@@ -380,7 +436,7 @@ sim::Duration Hypervisor::HandleOneInterrupt(hw::CpuId cpu) {
 
   hw::Cpu& c = platform_.cpu(cpu);
   PerCpuData& pc = percpu_[static_cast<std::size_t>(cpu)];
-  ++stats_.interrupts;
+  c_interrupts_->Inc();
 
   OpContext ctx(platform_, c, config_.runtime, HvContextKind::kIrq, nullptr,
                 nullptr);
@@ -421,7 +477,8 @@ sim::Duration Hypervisor::HandleOneInterrupt(hw::CpuId cpu) {
 }
 
 void Hypervisor::TimerSoftirq(OpContext& ctx, hw::CpuId cpu) {
-  ++stats_.timer_softirqs;
+  CtxSpan span(*this, ctx, "timer_softirq", cpu);
+  c_timer_softirqs_->Inc();
   statics_.Use(StaticVar::kTimerSubsysState);
   ctx.Step(cost::kTimerSoftirqFixed, "timer-softirq");
 
@@ -451,7 +508,7 @@ void Hypervisor::TimerSoftirq(OpContext& ctx, hw::CpuId cpu) {
 
 void Hypervisor::IdlePoll(OpContext& ctx, hw::CpuId cpu) {
   (void)cpu;
-  ++stats_.idle_polls;
+  c_idle_polls_->Inc();
   ctx.Step(cost::kIdlePoll, "idle-poll");
 }
 
@@ -467,11 +524,12 @@ void Hypervisor::DeliverVirqTimer(VcpuId v) {
 // ---------------------------------------------------------------------------
 
 VcpuId Hypervisor::Schedule(OpContext& ctx, hw::CpuId cpu) {
+  CtxSpan span(*this, ctx, "schedule", cpu);
   PerCpuData& pc = percpu_[static_cast<std::size_t>(cpu)];
   HvAssert(pc.local_irq_count == 0, "ASSERT !in_irq() in schedule()");
   statics_.Use(StaticVar::kSchedOpsPtr);
   statics_.Use(StaticVar::kPerCpuOffsets);
-  ++stats_.schedules;
+  c_schedules_->Inc();
 
   ctx.Lock(pc.sched_lock);
   ctx.Step(cost::kSchedule, "schedule");
@@ -560,7 +618,7 @@ void Hypervisor::SendEventToPort(DomainId dom, EventPort port, OpContext* ctx) {
   HvAssert(!vc.struct_corrupted, "corrupted vcpu struct in event delivery");
   vc.pending_events |= (1ULL << port);
   if (ctx != nullptr) ctx->Step(60, "event-deliver");
-  ++stats_.events_sent;
+  c_events_sent_->Inc();
   WakeVcpu(target);
 }
 
@@ -573,7 +631,7 @@ std::uint64_t Hypervisor::Hypercall(VcpuId v, HypercallCode code,
   Vcpu& vc = vcpu(v);
   const hw::CpuId cpu = (vc.running_on >= 0) ? vc.running_on : vc.pinned_cpu;
   hw::Cpu& c = platform_.cpu(cpu);
-  ++stats_.hypercalls;
+  c_hypercalls_->Inc();
 
   vc.inflight.active = true;
   vc.inflight.is_syscall = false;
@@ -587,6 +645,8 @@ std::uint64_t Hypervisor::Hypercall(VcpuId v, HypercallCode code,
 
   OpContext ctx(platform_, c, config_.runtime, HvContextKind::kHypercall, &vc,
                 &vc.inflight.undo);
+  CtxSpan span(*this, ctx, "hypercall:" + std::string(HypercallName(code)),
+               cpu);
   ctx.Step(cost::kHypercallEntry, "hypercall-entry");
   const std::uint64_t ret = Dispatch(ctx, vc, code, args);
   vc.inflight.undo.Clear();
@@ -600,7 +660,7 @@ void Hypervisor::ForwardedSyscall(VcpuId v, std::uint64_t sysno) {
   Vcpu& vc = vcpu(v);
   const hw::CpuId cpu = (vc.running_on >= 0) ? vc.running_on : vc.pinned_cpu;
   hw::Cpu& c = platform_.cpu(cpu);
-  ++stats_.syscall_forwards;
+  c_syscall_forwards_->Inc();
 
   vc.inflight.active = true;
   vc.inflight.is_syscall = true;
@@ -625,7 +685,7 @@ std::uint64_t Hypervisor::VmExit(VcpuId v, VmExitReason reason,
   Vcpu& vc = vcpu(v);
   const hw::CpuId cpu = (vc.running_on >= 0) ? vc.running_on : vc.pinned_cpu;
   hw::Cpu& c = platform_.cpu(cpu);
-  ++stats_.hypercalls;  // counted with hypercalls (hypervisor entries)
+  c_hypercalls_->Inc();  // counted with hypercalls (hypervisor entries)
 
   vc.inflight.active = true;
   vc.inflight.is_syscall = false;
@@ -704,29 +764,48 @@ void Hypervisor::ExecuteRetry(hw::CpuId cpu, Vcpu& vc) {
 // Error handling & recovery support
 // ---------------------------------------------------------------------------
 
-void Hypervisor::ReportError(hw::CpuId cpu, DetectionKind kind,
-                             const std::string& what) {
-  ++stats_.detections;
+void Hypervisor::ReportError(DetectionEvent event) {
+  c_detections_->Inc();
+  if (event.when == 0) event.when = Now();
+  tracer_.Instant(std::string("detect:") + DetectionKindName(event.kind),
+                  event.cpu, event.when);
   if (dead_) return;
   if (in_error_report_) {
-    MarkDead("nested error during error handling: " + what);
+    MarkDead(FailureReason::kNestedError,
+             "error during error handling: " + event.detail);
     return;
   }
   if (!error_handler_) {
-    MarkDead("unhandled " +
-             std::string(kind == DetectionKind::kPanic ? "panic" : "hang") +
-             ": " + what);
+    MarkDead(FailureReason::kUnhandledError,
+             std::string(DetectionKindName(event.kind)) + ": " + event.detail);
     return;
   }
   in_error_report_ = true;
-  error_handler_(cpu, kind, what);
+  error_handler_(event);
   in_error_report_ = false;
 }
 
-void Hypervisor::MarkDead(const std::string& reason) {
+void Hypervisor::ReportError(hw::CpuId cpu, DetectionKind kind,
+                             const std::string& what) {
+  DetectionEvent ev;
+  ev.cpu = cpu;
+  ev.kind = kind;
+  ev.code = kind == DetectionKind::kPanic ? FailureCode::kAssertFailure
+                                          : FailureCode::kWatchdogStall;
+  ev.when = Now();
+  ev.detail = what;
+  ReportError(std::move(ev));
+}
+
+void Hypervisor::MarkDead(FailureReason reason, const std::string& detail) {
   if (dead_) return;
   dead_ = true;
-  death_reason_ = reason;
+  death_code_ = reason;
+  death_reason_ = detail.empty()
+                      ? std::string(FailureReasonName(reason))
+                      : std::string(FailureReasonName(reason)) + ": " + detail;
+  metrics_.GetCounter(std::string("hv.dead.") + FailureReasonName(reason))
+      .Inc();
 }
 
 void Hypervisor::OnNmi(hw::CpuId cpu) {
@@ -736,6 +815,8 @@ void Hypervisor::OnNmi(hw::CpuId cpu) {
 
 void Hypervisor::FreezeForRecovery(hw::CpuId detector) {
   ++recovery_attempts_;
+  c_recoveries_->Inc();
+  tracer_.Instant("hv.freeze_for_recovery", detector, Now());
   frozen_ = true;
   for (int c = 0; c < platform_.num_cpus(); ++c) {
     hw::Cpu& cp = platform_.cpu(c);
@@ -750,6 +831,7 @@ void Hypervisor::FreezeForRecovery(hw::CpuId detector) {
 }
 
 void Hypervisor::DiscardAllHvStacks() {
+  tracer_.Instant("hv.discard_all_hv_stacks", 0, Now());
   for (int c = 0; c < platform_.num_cpus(); ++c) {
     hw::Cpu& cp = platform_.cpu(c);
     cp.hv_stack().Reset();
@@ -758,6 +840,7 @@ void Hypervisor::DiscardAllHvStacks() {
 }
 
 void Hypervisor::AckAllInterrupts() {
+  tracer_.Instant("hv.ack_all_interrupts", 0, Now());
   for (int c = 0; c < platform_.num_cpus(); ++c) {
     platform_.intc().AckAll(c);
   }
@@ -766,6 +849,7 @@ void Hypervisor::AckAllInterrupts() {
 void Hypervisor::ResumeAfterRecovery(sim::Time resume_at, bool reprogram_apics) {
   platform_.queue().ScheduleAt(resume_at, [this, reprogram_apics] {
     if (dead_) return;
+    tracer_.Instant("hv.resume_after_recovery", 0, Now());
     frozen_ = false;
     try {
       for (int c = 0; c < platform_.num_cpus(); ++c) {

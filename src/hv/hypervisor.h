@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hv/domain.h"
+#include "hv/failure.h"
 #include "hv/frame_table.h"
 #include "hv/guest_iface.h"
 #include "hv/heap.h"
@@ -29,10 +30,10 @@
 #include "hv/types.h"
 #include "hv/vcpu.h"
 #include "hw/platform.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
 
 namespace nlh::hv {
-
-enum class DetectionKind { kPanic, kHang };
 
 // HVM extension: VM exit reasons handled by the hypervisor.
 enum class VmExitReason : int {
@@ -50,6 +51,9 @@ struct DeviceBinding {
   bool masked = false;
 };
 
+// Read-only snapshot view of the hypervisor's core counters, assembled on
+// demand from the metrics registry (the registry is the single source of
+// truth; this struct survives for callers that want plain fields).
 struct HvStats {
   std::uint64_t hypercalls = 0;
   std::uint64_t syscall_forwards = 0;
@@ -126,17 +130,23 @@ class Hypervisor {
   void RunCpuSlice(hw::CpuId cpu);
 
   // --- Error handling -------------------------------------------------------
-  using ErrorHandler =
-      std::function<void(hw::CpuId, DetectionKind, const std::string&)>;
+  // Structured error delivery: the handler receives a DetectionEvent
+  // instead of the old (CpuId, DetectionKind, string) triple.
+  using ErrorHandler = std::function<void(const DetectionEvent&)>;
   void SetErrorHandler(ErrorHandler handler) { error_handler_ = std::move(handler); }
   // NMI hook (hang detector); invoked on every watchdog NMI.
   void SetNmiHook(std::function<void(hw::CpuId)> hook) { nmi_hook_ = std::move(hook); }
-  // Reports a detected error (panic path or hang detector).
+  // Reports a detected error (panic path or hang detector). The event's
+  // `when` field is stamped with the current simulated time if unset.
+  void ReportError(DetectionEvent event);
+  // Convenience for raisers that only know kind + diagnostic text; the
+  // failure code is inferred from the kind.
   void ReportError(hw::CpuId cpu, DetectionKind kind, const std::string& what);
   // True once an unrecoverable state was reached (no handler, or the
   // handler gave up): the platform is dead.
   bool dead() const { return dead_; }
-  void MarkDead(const std::string& reason);
+  void MarkDead(FailureReason reason, const std::string& detail = "");
+  FailureReason death_code() const { return death_code_; }
   const std::string& death_reason() const { return death_reason_; }
   // Reason of the most recent silent CPU hang (diagnostics).
   const std::string& last_hang_reason() const { return last_hang_reason_; }
@@ -187,7 +197,13 @@ class Hypervisor {
   std::map<DomainId, Domain>& domains() { return domains_; }
   Domain* FindDomain(DomainId id);
   TimerHeap& timers(hw::CpuId c) { return *timers_[static_cast<std::size_t>(c)]; }
-  HvStats& stats() { return stats_; }
+  // Snapshot of the core counters (see the metrics registry for the full,
+  // extensible set).
+  HvStats stats() const;
+  // Observability: span tracer + metrics registry for this host.
+  sim::Tracer& tracer() { return tracer_; }
+  sim::MetricsRegistry& metrics() { return metrics_; }
+  const sim::MetricsRegistry& metrics() const { return metrics_; }
   std::map<hw::Vector, DeviceBinding>& device_bindings() {
     return device_bindings_;
   }
@@ -295,11 +311,25 @@ class Hypervisor {
 
   ErrorHandler error_handler_;
   std::function<void(hw::CpuId)> nmi_hook_;
-  HvStats stats_;
+
+  // Observability. Counter pointers are cached once in the constructor so
+  // hot paths bump them without a registry lookup.
+  sim::Tracer tracer_;
+  sim::MetricsRegistry metrics_;
+  sim::Counter* c_hypercalls_ = nullptr;
+  sim::Counter* c_syscall_forwards_ = nullptr;
+  sim::Counter* c_interrupts_ = nullptr;
+  sim::Counter* c_schedules_ = nullptr;
+  sim::Counter* c_timer_softirqs_ = nullptr;
+  sim::Counter* c_idle_polls_ = nullptr;
+  sim::Counter* c_events_sent_ = nullptr;
+  sim::Counter* c_detections_ = nullptr;
+  sim::Counter* c_recoveries_ = nullptr;
 
   bool booted_ = false;
   bool frozen_ = false;
   bool dead_ = false;
+  FailureReason death_code_ = FailureReason::kNone;
   std::string death_reason_;
   std::string last_hang_reason_;
   bool recovery_path_ok_ = true;

@@ -19,23 +19,20 @@ class RecoveryManager {
 
   // Installs the manager as the hypervisor's error handler.
   void Install() {
-    hv_.SetErrorHandler([this](hw::CpuId cpu, hv::DetectionKind kind,
-                               const std::string& what) {
-      OnError(cpu, kind, what);
-    });
+    hv_.SetErrorHandler([this](const hv::DetectionEvent& ev) { OnError(ev); });
   }
 
-  void OnError(hw::CpuId cpu, hv::DetectionKind kind, const std::string& what) {
-    last_detection_reason_ = what;
+  void OnError(const hv::DetectionEvent& ev) {
+    last_detection_ = ev;
     if (mech_ == nullptr) {
-      hv_.MarkDead("no recovery mechanism: " + what);
+      hv_.MarkDead(hv::FailureReason::kNoMechanism, ev.detail);
       return;
     }
     if (hv_.recovery_attempts() >= max_attempts_) {
-      hv_.MarkDead("recovery attempt limit reached: " + what);
+      hv_.MarkDead(hv::FailureReason::kAttemptLimitReached, ev.detail);
       return;
     }
-    RecoveryReport report = mech_->Recover(cpu, kind);
+    RecoveryReport report = mech_->Recover(ev);
     if (!report.gave_up && hang_detector_ != nullptr) {
       // Reset the watchdog history when the system resumes so the frozen
       // interval is not mistaken for a hang.
@@ -46,8 +43,9 @@ class RecoveryManager {
   }
 
   const std::vector<RecoveryReport>& reports() const { return reports_; }
+  const hv::DetectionEvent& last_detection() const { return last_detection_; }
   const std::string& last_detection_reason() const {
-    return last_detection_reason_;
+    return last_detection_.detail;
   }
   RecoveryMechanism* mechanism() { return mech_.get(); }
   void set_max_attempts(int n) { max_attempts_ = n; }
@@ -57,7 +55,7 @@ class RecoveryManager {
   std::unique_ptr<RecoveryMechanism> mech_;
   detect::HangDetector* hang_detector_;
   std::vector<RecoveryReport> reports_;
-  std::string last_detection_reason_;
+  hv::DetectionEvent last_detection_;
   int max_attempts_ = 3;
 };
 

@@ -2,29 +2,33 @@
 
 namespace nlh::recovery {
 
-RecoveryReport NiLiHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
+RecoveryReport NiLiHype::Recover(const hv::DetectionEvent& event) {
   RecoveryReport report;
   report.detected_at = hv_.Now();
-  report.kind = kind;
+  report.kind = event.kind;
 
-  auto add = [&report](const std::string& name, sim::Duration d) {
-    report.steps.push_back({name, d});
-  };
+  sim::Tracer& tracer = hv_.tracer();
+  const std::uint32_t root =
+      tracer.Begin("recover:NiLiHype", event.cpu, report.detected_at);
+  steps::StepRecorder rec(hv_, report, event.cpu);
 
   // The recovery routine itself depends on hypervisor state (IDT entries,
   // the recovery handler's own data); if the fault corrupted that state the
   // routine never gets to run (Section VII-A failure reason 1).
   if (!hv_.recovery_path_ok()) {
     report.gave_up = true;
+    report.give_up_code = hv::FailureReason::kRecoveryPathCorrupted;
     report.give_up_reason = "recovery routine could not be invoked";
-    hv_.MarkDead(report.give_up_reason);
+    hv_.MarkDead(report.give_up_code, report.give_up_reason);
+    tracer.End(root, report.detected_at);
     return report;
   }
 
   // 1. Freeze: disable interrupts on this CPU, IPI all others (their entry
   //    increments the interrupt nesting count), park them in busy waits.
-  hv_.FreezeForRecovery(cpu);
-  add("freeze CPUs (IPIs, disable interrupts)", model_.freeze);
+  hv_.FreezeForRecovery(event.cpu);
+  rec.Add(RecoveryPhase::kFreeze, "freeze CPUs (IPIs, disable interrupts)",
+          model_.freeze);
 
   // Capture who was running before any repair touches the metadata.
   const std::vector<hv::VcpuId> running = steps::RunningVcpus(hv_);
@@ -32,12 +36,14 @@ RecoveryReport NiLiHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
 
   // 2. Microreset core: discard every execution thread.
   hv_.DiscardAllHvStacks();
-  add("discard hypervisor execution threads", model_.nl_discard_threads);
+  rec.Add(RecoveryPhase::kDiscardThreads,
+          "discard hypervisor execution threads", model_.nl_discard_threads);
 
   // 3. Roll-forward enhancements (Section V-A).
   if (enh_.clear_irq_count) {
     for (hv::PerCpuData& pc : hv_.percpu()) pc.local_irq_count = 0;
-    add("clear IRQ count", model_.nl_clear_irq);
+    rec.Add(RecoveryPhase::kClearIrqCount, "clear IRQ count",
+            model_.nl_clear_irq);
   }
   if (enh_.release_heap_locks || enh_.unlock_static_locks) {
     int released = 0;
@@ -45,35 +51,40 @@ RecoveryReport NiLiHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
     if (enh_.unlock_static_locks) {
       released += hv_.static_locks().ForceReleaseAll();
     }
-    add("release locks (" + std::to_string(released) + " held)",
-        model_.nl_release_locks);
+    rec.Add(RecoveryPhase::kReleaseLocks,
+            "release locks (" + std::to_string(released) + " held)",
+            model_.nl_release_locks);
   }
   if (enh_.sched_metadata_repair) {
     const int repaired = hv::RepairSchedMetadata(hv_.percpu(), hv_.vcpus());
-    add("scheduling metadata consistency (" + std::to_string(repaired) +
-            " fields)",
-        model_.nl_sched_repair);
+    rec.Add(RecoveryPhase::kSchedMetadataRepair,
+            "scheduling metadata consistency (" + std::to_string(repaired) +
+                " fields)",
+            model_.nl_sched_repair);
   }
   if (enh_.hypercall_retry || enh_.syscall_retry) {
     const steps::RetrySetupStats st = steps::SetupRequestRetries(hv_, enh_);
-    add("set up hypercall/syscall retry (" +
-            std::to_string(st.hypercalls_retried + st.syscalls_retried) +
-            " retried, " + std::to_string(st.requests_lost) + " lost)",
-        model_.nl_retry_setup);
+    rec.Add(RecoveryPhase::kRetrySetup,
+            "set up hypercall/syscall retry (" +
+                std::to_string(st.hypercalls_retried + st.syscalls_retried) +
+                " retried, " + std::to_string(st.requests_lost) + " lost)",
+            model_.nl_retry_setup);
   } else {
     steps::SetupRequestRetries(hv_, enh_);  // marks everything lost
   }
   if (enh_.frame_table_scan) {
     hv_.frames().ScanAndRepair();
-    add("restore page-frame descriptor consistency",
-        model_.FrameScan(hv_.platform().memory().num_frames()));
+    rec.Add(RecoveryPhase::kFrameTableScan,
+            "restore page-frame descriptor consistency",
+            model_.FrameScan(hv_.platform().memory().num_frames()));
   }
   if (enh_.reactivate_recurring) {
     const int reinserted = hv_.ReactivateRecurringEvents();
     hv_.RearmVcpuTimers();
-    add("reactivate recurring timer events (" + std::to_string(reinserted) +
-            " missing)",
-        model_.nl_reactivate);
+    rec.Add(RecoveryPhase::kReactivateTimers,
+            "reactivate recurring timer events (" +
+                std::to_string(reinserted) + " missing)",
+            model_.nl_reactivate);
   }
 
   // 4. Ack pending and in-service interrupts shortly after the freeze. An
@@ -82,16 +93,24 @@ RecoveryReport NiLiHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
   if (enh_.ack_interrupts) {
     hv_.platform().queue().ScheduleAt(report.detected_at + model_.ack_delay,
                                       [this] { hv_.AckAllInterrupts(); });
-    add("acknowledge pending/in-service interrupts", sim::Microseconds(20));
+    rec.Add(RecoveryPhase::kAckInterrupts,
+            "acknowledge pending/in-service interrupts",
+            sim::Microseconds(20));
   }
 
   if (enh_.reprogram_apic) {
-    add("reprogram hardware (APIC) timers", model_.nl_reprogram);
+    rec.Add(RecoveryPhase::kReprogramApic, "reprogram hardware (APIC) timers",
+            model_.nl_reprogram);
   }
-  add("resume (exit busy waits)", model_.nl_resume);
+  rec.Add(RecoveryPhase::kResume, "resume (exit busy waits)",
+          model_.nl_resume);
 
   // 5. Resume at detection + total latency.
   report.resumed_at = report.detected_at + report.total();
+  tracer.End(root, report.resumed_at);
+  hv_.metrics()
+      .GetHistogram("recovery.total_ms")
+      .Observe(sim::ToMillisF(report.total()));
   hv_.ResumeAfterRecovery(report.resumed_at, enh_.reprogram_apic);
   hv_.platform().queue().ScheduleAt(
       report.resumed_at, [this, running] {

@@ -21,7 +21,8 @@ class NiLiHype : public RecoveryMechanism {
 
   std::string Name() const override { return "NiLiHype"; }
 
-  RecoveryReport Recover(hw::CpuId cpu, hv::DetectionKind kind) override;
+  RecoveryReport Recover(const hv::DetectionEvent& event) override;
+  using RecoveryMechanism::Recover;
 
   // Invoked (from an event) right after the system resumes; the manager
   // uses it to reset the hang detector.

@@ -1,5 +1,37 @@
 #include "recovery/recovery_common.h"
 
+namespace nlh::recovery {
+
+const char* RecoveryPhaseName(RecoveryPhase p) {
+  switch (p) {
+    case RecoveryPhase::kFreeze: return "freeze";
+    case RecoveryPhase::kDiscardThreads: return "discard_threads";
+    case RecoveryPhase::kAckInterrupts: return "ack_interrupts";
+    case RecoveryPhase::kResume: return "resume";
+    case RecoveryPhase::kRetrySetup: return "retry_setup";
+    case RecoveryPhase::kFrameTableScan: return "frame_table_scan";
+    case RecoveryPhase::kClearIrqCount: return "clear_irq_count";
+    case RecoveryPhase::kReleaseLocks: return "release_locks";
+    case RecoveryPhase::kSchedMetadataRepair: return "sched_metadata_repair";
+    case RecoveryPhase::kReactivateTimers: return "reactivate_timers";
+    case RecoveryPhase::kReprogramApic: return "reprogram_apic";
+    case RecoveryPhase::kPreserveStatics: return "preserve_statics";
+    case RecoveryPhase::kEarlyBoot: return "early_boot";
+    case RecoveryPhase::kCpusOnline: return "cpus_online";
+    case RecoveryPhase::kApicSetup: return "apic_setup";
+    case RecoveryPhase::kTscCalibrate: return "tsc_calibrate";
+    case RecoveryPhase::kRecordOldHeap: return "record_old_heap";
+    case RecoveryPhase::kReinitFrameDescriptors: return "reinit_frame_descriptors";
+    case RecoveryPhase::kRecreateHeap: return "recreate_heap";
+    case RecoveryPhase::kSmpInit: return "smp_init";
+    case RecoveryPhase::kRelocateModules: return "relocate_modules";
+    case RecoveryPhase::kMiscOthers: return "misc_others";
+  }
+  return "?";
+}
+
+}  // namespace nlh::recovery
+
 namespace nlh::recovery::steps {
 
 std::vector<hv::VcpuId> RunningVcpus(hv::Hypervisor& hv) {

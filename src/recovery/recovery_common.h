@@ -12,9 +12,44 @@
 
 namespace nlh::recovery {
 
+// Stable identity of a recovery step (a Table II / III row). Campaign
+// aggregation and the trace exporter key on this enum — never on the
+// human-readable step label, which carries run-specific counts.
+enum class RecoveryPhase {
+  // Shared.
+  kFreeze = 0,
+  kDiscardThreads,
+  kAckInterrupts,
+  kResume,
+  kRetrySetup,
+  kFrameTableScan,
+  // NiLiHype roll-forward repairs (Section V-A).
+  kClearIrqCount,
+  kReleaseLocks,
+  kSchedMetadataRepair,
+  kReactivateTimers,
+  kReprogramApic,
+  // ReHype reboot steps (Table II).
+  kPreserveStatics,
+  kEarlyBoot,
+  kCpusOnline,
+  kApicSetup,
+  kTscCalibrate,
+  kRecordOldHeap,
+  kReinitFrameDescriptors,
+  kRecreateHeap,
+  kSmpInit,
+  kRelocateModules,
+  kMiscOthers,
+};
+
+// Stable machine-readable slug (metric names, JSON artifacts, trace spans).
+const char* RecoveryPhaseName(RecoveryPhase p);
+
 // One recovery step and its modeled latency (a Table II / III row).
 struct StepLatency {
-  std::string name;
+  RecoveryPhase phase = RecoveryPhase::kFreeze;
+  std::string name;  // human-readable label, may carry run-specific counts
   sim::Duration latency = 0;
 };
 
@@ -24,6 +59,7 @@ struct RecoveryReport {
   hv::DetectionKind kind = hv::DetectionKind::kPanic;
   std::vector<StepLatency> steps;
   bool gave_up = false;  // the recovery routine itself failed
+  hv::FailureReason give_up_code = hv::FailureReason::kNone;
   std::string give_up_reason;
 
   sim::Duration total() const {
@@ -37,10 +73,21 @@ class RecoveryMechanism {
  public:
   virtual ~RecoveryMechanism() = default;
   virtual std::string Name() const = 0;
-  // Performs recovery for an error detected on `cpu`. Runs synchronously at
-  // detection time; schedules the system resume at detection + total
-  // latency. Returns the report (also retained; see last_report()).
-  virtual RecoveryReport Recover(hw::CpuId cpu, hv::DetectionKind kind) = 0;
+  // Performs recovery for the detected error described by `event`. Runs
+  // synchronously at detection time; schedules the system resume at
+  // detection + total latency. Returns the report.
+  virtual RecoveryReport Recover(const hv::DetectionEvent& event) = 0;
+
+  // Convenience for callers (tests, benches) that only know cpu + kind.
+  RecoveryReport Recover(hw::CpuId cpu, hv::DetectionKind kind) {
+    hv::DetectionEvent ev;
+    ev.cpu = cpu;
+    ev.kind = kind;
+    ev.code = kind == hv::DetectionKind::kPanic
+                  ? hv::FailureCode::kAssertFailure
+                  : hv::FailureCode::kWatchdogStall;
+    return Recover(ev);
+  }
 };
 
 namespace steps {
@@ -70,6 +117,34 @@ RetrySetupStats SetupRequestRetries(hv::Hypervisor& hv,
 // clear the flags. Called from an event scheduled at resume time.
 void NotifyGuestsAfterResume(hv::Hypervisor& hv,
                              const std::vector<hv::VcpuId>& was_running);
+
+// Shared step recorder: appends the step to the report, mirrors it as a
+// trace span ([cursor, cursor+latency], child of the innermost open span)
+// and a per-phase latency histogram sample, and advances the cursor.
+class StepRecorder {
+ public:
+  StepRecorder(hv::Hypervisor& hv, RecoveryReport& report, hw::CpuId cpu)
+      : hv_(hv), report_(report), cpu_(cpu), cursor_(report.detected_at) {}
+
+  void Add(RecoveryPhase phase, std::string name, sim::Duration latency) {
+    const char* slug = RecoveryPhaseName(phase);
+    hv_.tracer().Span(std::string("phase:") + slug, cpu_, cursor_,
+                      cursor_ + latency);
+    hv_.metrics()
+        .GetHistogram(std::string("recovery.phase_ms.") + slug)
+        .Observe(sim::ToMillisF(latency));
+    report_.steps.push_back({phase, std::move(name), latency});
+    cursor_ += latency;
+  }
+
+  sim::Time cursor() const { return cursor_; }
+
+ private:
+  hv::Hypervisor& hv_;
+  RecoveryReport& report_;
+  hw::CpuId cpu_;
+  sim::Time cursor_;
+};
 
 }  // namespace steps
 

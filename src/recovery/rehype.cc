@@ -2,29 +2,32 @@
 
 namespace nlh::recovery {
 
-RecoveryReport ReHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
+RecoveryReport ReHype::Recover(const hv::DetectionEvent& event) {
   RecoveryReport report;
   report.detected_at = hv_.Now();
-  report.kind = kind;
+  report.kind = event.kind;
   const std::uint64_t mem_frames = hv_.platform().memory().num_frames();
 
-  auto add = [&report](const std::string& name, sim::Duration d) {
-    report.steps.push_back({name, d});
-  };
+  sim::Tracer& tracer = hv_.tracer();
+  const std::uint32_t root =
+      tracer.Begin("recover:ReHype", event.cpu, report.detected_at);
+  steps::StepRecorder rec(hv_, report, event.cpu);
 
   if (!hv_.recovery_path_ok()) {
     report.gave_up = true;
+    report.give_up_code = hv::FailureReason::kRecoveryPathCorrupted;
     report.give_up_reason = "recovery routine could not be invoked";
-    hv_.MarkDead(report.give_up_reason);
+    hv_.MarkDead(report.give_up_code, report.give_up_reason);
+    tracer.End(root, report.detected_at);
     return report;
   }
 
   // 1. Freeze; all CPUs except the recovering one halt until SMP re-init.
-  hv_.FreezeForRecovery(cpu);
+  hv_.FreezeForRecovery(event.cpu);
   for (int c = 0; c < hv_.platform().num_cpus(); ++c) {
-    if (c != cpu) hv_.platform().cpu(c).set_halted(true);
+    if (c != event.cpu) hv_.platform().cpu(c).set_halted(true);
   }
-  add("freeze and halt other CPUs", model_.freeze);
+  rec.Add(RecoveryPhase::kFreeze, "freeze and halt other CPUs", model_.freeze);
 
   const std::vector<hv::VcpuId> running = steps::RunningVcpus(hv_);
   if (enh_.save_fs_gs) steps::SaveFsGs(hv_, running);
@@ -36,30 +39,38 @@ RecoveryReport ReHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
   // 2. Preserve static data (copy to a safe location), then boot. The boot
   //    re-initializes the whole static segment; the preserved subset is
   //    copied back over it — exactly StaticDataSegment::RebootRestore.
-  add("preserve static data segments", sim::Milliseconds(1));
+  rec.Add(RecoveryPhase::kPreserveStatics, "preserve static data segments",
+          sim::Milliseconds(1));
 
   // --- Hardware initialization (Table II: 412 ms) --------------------------
   hv_.statics().RebootRestore();
-  add("early initialization of the boot CPU", model_.rh_early_boot);
-  add("initialize and wait for other CPUs to come online",
-      model_.rh_cpus_online);
+  rec.Add(RecoveryPhase::kEarlyBoot, "early initialization of the boot CPU",
+          model_.rh_early_boot);
+  rec.Add(RecoveryPhase::kCpusOnline,
+          "initialize and wait for other CPUs to come online",
+          model_.rh_cpus_online);
   hv_.platform().intc().ResetAll();
-  add("verify, connect and set up local APIC / IO-APIC", model_.rh_apic_setup);
-  add("initialize and calibrate TSC timer", model_.rh_tsc_calibrate);
+  rec.Add(RecoveryPhase::kApicSetup,
+          "verify, connect and set up local APIC / IO-APIC",
+          model_.rh_apic_setup);
+  rec.Add(RecoveryPhase::kTscCalibrate, "initialize and calibrate TSC timer",
+          model_.rh_tsc_calibrate);
 
   // --- Memory initialization (Table II: 266 ms at 8 GB) ----------------------
-  add("record allocated pages of old heap",
-      model_.PerFrame(model_.rh_record_heap_ns_per_frame, mem_frames));
+  rec.Add(RecoveryPhase::kRecordOldHeap, "record allocated pages of old heap",
+          model_.PerFrame(model_.rh_record_heap_ns_per_frame, mem_frames));
   if (enh_.frame_table_scan) {
     hv_.frames().ScanAndRepair();
-    add("restore and check consistency of page frame entries",
-        model_.FrameScan(mem_frames));
+    rec.Add(RecoveryPhase::kFrameTableScan,
+            "restore and check consistency of page frame entries",
+            model_.FrameScan(mem_frames));
   }
-  add("re-initialize page frame descriptors for un-preserved pages",
-      model_.PerFrame(model_.rh_reinit_desc_ns_per_frame, mem_frames));
+  rec.Add(RecoveryPhase::kReinitFrameDescriptors,
+          "re-initialize page frame descriptors for un-preserved pages",
+          model_.PerFrame(model_.rh_reinit_desc_ns_per_frame, mem_frames));
   hv_.heap().RecreateFreeList();
-  add("recreate the new heap",
-      model_.PerFrame(model_.rh_recreate_heap_ns_per_frame, mem_frames));
+  rec.Add(RecoveryPhase::kRecreateHeap, "recreate the new heap",
+          model_.PerFrame(model_.rh_recreate_heap_ns_per_frame, mem_frames));
 
   // --- State re-integration / reset --------------------------------------
   // A fresh instance has: zero IRQ nesting, unlocked locks, fresh scheduler
@@ -84,13 +95,20 @@ RecoveryReport ReHype::Recover(hw::CpuId cpu, hv::DetectionKind kind) {
   }
 
   // --- Misc (Table II: 35 ms) ------------------------------------------------
-  add("SMP initialization", model_.rh_smp_init);
-  add("identify valid page frames, relocate boot modules", model_.rh_relocate);
-  add("others (retry setup, lock release, scheduler re-integration)",
-      model_.rh_misc_others);
+  rec.Add(RecoveryPhase::kSmpInit, "SMP initialization", model_.rh_smp_init);
+  rec.Add(RecoveryPhase::kRelocateModules,
+          "identify valid page frames, relocate boot modules",
+          model_.rh_relocate);
+  rec.Add(RecoveryPhase::kMiscOthers,
+          "others (retry setup, lock release, scheduler re-integration)",
+          model_.rh_misc_others);
 
   // 3. Resume: the boot reprogrammed every APIC timer.
   report.resumed_at = report.detected_at + report.total();
+  tracer.End(root, report.resumed_at);
+  hv_.metrics()
+      .GetHistogram("recovery.total_ms")
+      .Observe(sim::ToMillisF(report.total()));
   hv_.ResumeAfterRecovery(report.resumed_at, /*reprogram_apics=*/true);
   hv_.platform().queue().ScheduleAt(
       report.resumed_at, [this, running] {

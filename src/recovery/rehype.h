@@ -24,7 +24,8 @@ class ReHype : public RecoveryMechanism {
 
   std::string Name() const override { return "ReHype"; }
 
-  RecoveryReport Recover(hw::CpuId cpu, hv::DetectionKind kind) override;
+  RecoveryReport Recover(const hv::DetectionEvent& event) override;
+  using RecoveryMechanism::Recover;
 
   void SetResumeHook(std::function<void()> hook) { resume_hook_ = std::move(hook); }
 

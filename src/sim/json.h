@@ -1,0 +1,48 @@
+// Minimal JSON emission helpers shared by the trace exporter, the metrics
+// registry, and the campaign/bench JSON artifacts. Emission only — the
+// simulator never parses JSON.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace nlh::sim {
+
+// Escapes a string for inclusion inside a JSON string literal (no quotes).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// "name" (quoted + escaped).
+inline std::string JsonStr(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+// Fixed-point double formatting (JSON forbids NaN/Inf; clamp to 0).
+inline std::string JsonNum(double v, int decimals = 3) {
+  if (v != v || v > 1e300 || v < -1e300) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace nlh::sim

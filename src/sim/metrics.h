@@ -1,0 +1,147 @@
+// Metrics registry: named counters, gauges, and histograms replacing
+// ad-hoc stat-struct field twiddling. One registry per simulated host
+// (campaigns parallelize across runs, each with its own registry), so no
+// atomics are needed. Metric objects are owned by the registry and their
+// addresses are stable — hot paths cache a pointer once and bump it
+// without a map lookup.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/json.h"
+
+namespace nlh::sim {
+
+class Counter {
+ public:
+  void Inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Exact-sample histogram (runs are short; memory is bounded by a sample
+// cap after which only count/sum/min/max stay exact).
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
+  void Observe(double v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    if (samples_.size() < kMaxSamples) samples_.push_back(v);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+  // Nearest-rank quantile over the retained samples (q in [0,1]).
+  double Quantile(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    std::size_t i = static_cast<std::size_t>(rank + 0.5);
+    if (i >= sorted.size()) i = sorted.size() - 1;
+    return sorted[i];
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<double> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) {
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+  Gauge& GetGauge(const std::string& name) {
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+  Histogram& GetHistogram(const std::string& name) {
+    auto& slot = histograms_[name];
+    if (slot == nullptr) slot = std::make_unique<Histogram>();
+    return *slot;
+  }
+
+  const Counter* FindCounter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+  }
+  const Histogram* FindHistogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+  }
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
+  std::string ToJson() const {
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      if (!first) out += ",";
+      first = false;
+      out += JsonStr(name) + ":" + std::to_string(c->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+      if (!first) out += ",";
+      first = false;
+      out += JsonStr(name) + ":" + JsonNum(g->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      if (!first) out += ",";
+      first = false;
+      out += JsonStr(name) + ":{\"count\":" + std::to_string(h->count()) +
+             ",\"sum\":" + JsonNum(h->sum()) +
+             ",\"min\":" + JsonNum(h->min()) +
+             ",\"max\":" + JsonNum(h->max()) +
+             ",\"mean\":" + JsonNum(h->Mean()) +
+             ",\"p50\":" + JsonNum(h->Quantile(0.50)) +
+             ",\"p99\":" + JsonNum(h->Quantile(0.99)) + "}";
+    }
+    out += "}}";
+    return out;
+  }
+
+ private:
+  // std::map: deterministic JSON field order; unique_ptr: stable addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace nlh::sim

@@ -1,0 +1,202 @@
+// Span tracer for the simulator: structured, nested spans carrying
+// *simulated* start/end times (sim::Time), the emitting CPU, and a parent
+// link, stored in a bounded ring buffer and exportable in Chrome
+// trace_event JSON ("X" complete events, chrome://tracing / Perfetto).
+//
+// Zero overhead when disabled: every recording call checks a single bool
+// and returns immediately; no allocation, no storage, no span ids.
+//
+// The simulator is single-threaded within one run (campaigns parallelize
+// across runs, each with its own Hypervisor and therefore its own Tracer),
+// so nesting is tracked with a plain open-span stack: Begin() pushes, End()
+// pops, and a span's parent is whatever was on top when it began. Code
+// whose simulated duration is only known after the fact (modeled latencies)
+// can instead record complete spans with explicit times via Span().
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/json.h"
+#include "sim/time.h"
+
+namespace nlh::sim {
+
+struct TraceEvent {
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;  // 0 = root (no enclosing span)
+  Time start = 0;
+  Time end = 0;
+  int cpu = 0;
+  std::string name;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  void Enable(std::size_t capacity = kDefaultCapacity) {
+    enabled_ = true;
+    capacity_ = capacity == 0 ? 1 : capacity;
+    Clear();
+  }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Clear() {
+    ring_.clear();
+    open_.clear();
+    next_slot_ = 0;
+    recorded_ = 0;
+    next_id_ = 1;
+  }
+
+  // Opens a span at simulated time `start`, nested under the currently
+  // innermost open span. Returns the span id (0 when disabled).
+  std::uint32_t Begin(std::string name, int cpu, Time start) {
+    if (!enabled_) return 0;
+    TraceEvent ev;
+    ev.id = next_id_++;
+    ev.parent = open_.empty() ? 0 : open_.back().id;
+    ev.start = start;
+    ev.end = start;
+    ev.cpu = cpu;
+    ev.name = std::move(name);
+    open_.push_back(std::move(ev));
+    return open_.back().id;
+  }
+
+  // Closes the span `id` at simulated time `end` and commits it to the ring
+  // buffer. Spans must close innermost-first; closing a span also closes
+  // (at the same instant) any forgotten spans nested inside it.
+  void End(std::uint32_t id, Time end) {
+    if (!enabled_ || id == 0) return;
+    while (!open_.empty()) {
+      TraceEvent ev = std::move(open_.back());
+      open_.pop_back();
+      const bool match = ev.id == id;
+      ev.end = std::max(end, ev.start);
+      Commit(std::move(ev));
+      if (match) return;
+    }
+  }
+
+  // Records a complete span with explicit times as a child of the innermost
+  // open span (modeled-latency recording).
+  std::uint32_t Span(std::string name, int cpu, Time start, Time end) {
+    if (!enabled_) return 0;
+    TraceEvent ev;
+    ev.id = next_id_++;
+    ev.parent = open_.empty() ? 0 : open_.back().id;
+    ev.start = start;
+    ev.end = std::max(end, start);
+    ev.cpu = cpu;
+    ev.name = std::move(name);
+    const std::uint32_t id = ev.id;
+    Commit(std::move(ev));
+    return id;
+  }
+
+  // Zero-duration marker.
+  std::uint32_t Instant(std::string name, int cpu, Time at) {
+    return Span(std::move(name), cpu, at, at);
+  }
+
+  // Committed spans, oldest first, sorted by start time (open spans are not
+  // included until ended).
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    // Ring order: next_slot_ points at the oldest entry once wrapped.
+    if (recorded_ > ring_.size()) {
+      out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_slot_), ring_.end());
+      out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(next_slot_));
+    } else {
+      out = ring_;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start < b.start;
+                     });
+    return out;
+  }
+
+  // Total spans committed (including any overwritten by the ring).
+  std::uint64_t recorded() const { return recorded_; }
+  // Spans lost to ring overwrite.
+  std::uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+
+  // Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...}, ...]}.
+  // ts/dur are in microseconds (fractional) of simulated time; tid is the
+  // emitting CPU so each CPU gets its own track.
+  std::string ToChromeJson() const {
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& ev : Snapshot()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":" + JsonStr(ev.name) +
+             ",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":" +
+             JsonNum(static_cast<double>(ev.start) / kMicrosecond) +
+             ",\"dur\":" +
+             JsonNum(static_cast<double>(ev.end - ev.start) / kMicrosecond) +
+             ",\"pid\":1,\"tid\":" + std::to_string(ev.cpu) +
+             ",\"args\":{\"id\":" + std::to_string(ev.id) +
+             ",\"parent\":" + std::to_string(ev.parent) + "}}";
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+  }
+
+ private:
+  void Commit(TraceEvent ev) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(ev));
+    } else {
+      ring_[next_slot_] = std::move(ev);
+      next_slot_ = (next_slot_ + 1) % capacity_;
+    }
+    ++recorded_;
+  }
+
+  bool enabled_ = false;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<TraceEvent> ring_;
+  std::vector<TraceEvent> open_;  // stack of open spans
+  std::size_t next_slot_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint32_t next_id_ = 1;
+};
+
+// RAII span for scopes whose simulated duration is known at exit.
+// The caller supplies the end time explicitly (simulated time does not
+// advance implicitly inside a slice), defaulting to the start time.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(Tracer& tracer, std::string name, int cpu, Time start)
+      : tracer_(&tracer), start_(start), end_(start) {
+    id_ = tracer.Begin(std::move(name), cpu, start);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (tracer_ != nullptr && id_ != 0) tracer_->End(id_, end_);
+  }
+
+  void SetEnd(Time end) { end_ = end; }
+  Time start() const { return start_; }
+  std::uint32_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint32_t id_ = 0;
+  Time start_ = 0;
+  Time end_ = 0;
+};
+
+}  // namespace nlh::sim

@@ -27,9 +27,10 @@ TEST_F(DetectInjectTest, HangDetectedWithinThreeNmiPeriods) {
   detect::HangDetector det(hv_);
   det.Install();
   std::vector<std::pair<hw::CpuId, sim::Time>> detections;
-  hv_.SetErrorHandler([&](hw::CpuId c, hv::DetectionKind k, const std::string&) {
-    EXPECT_EQ(k, hv::DetectionKind::kHang);
-    detections.push_back({c, platform_.Now()});
+  hv_.SetErrorHandler([&](const hv::DetectionEvent& ev) {
+    EXPECT_EQ(ev.kind, hv::DetectionKind::kHang);
+    EXPECT_EQ(ev.code, hv::FailureCode::kWatchdogStall);
+    detections.push_back({ev.cpu, platform_.Now()});
   });
   // Hang CPU 1: its watchdog_tick stops incrementing because its timer
   // interrupts are no longer processed. Model by removing the tick.
@@ -49,9 +50,7 @@ TEST_F(DetectInjectTest, HealthyCpusNeverTripTheDetector) {
   detect::HangDetector det(hv_);
   det.Install();
   int detections = 0;
-  hv_.SetErrorHandler([&](hw::CpuId, hv::DetectionKind, const std::string&) {
-    ++detections;
-  });
+  hv_.SetErrorHandler([&](const hv::DetectionEvent&) { ++detections; });
   // Drive the platform; CPUs are idle but their timer ticks still run via
   // the normal interrupt path (idle wakeups).
   platform_.queue().RunUntil(sim::Seconds(2));
@@ -62,9 +61,7 @@ TEST_F(DetectInjectTest, ResetAllForgetsFrozenInterval) {
   detect::HangDetector det(hv_);
   det.Install();
   int detections = 0;
-  hv_.SetErrorHandler([&](hw::CpuId, hv::DetectionKind, const std::string&) {
-    ++detections;
-  });
+  hv_.SetErrorHandler([&](const hv::DetectionEvent&) { ++detections; });
   // Simulate a recovery-like freeze: counters do not advance for 400 ms,
   // but OnNmi is suppressed (frozen) and the detector is reset afterwards.
   platform_.queue().ScheduleAt(sim::Milliseconds(300), [&] {
@@ -114,8 +111,8 @@ struct InjectorFixture : DetectInjectTest {
 
 TEST_F(InjectorFixture, FailstopFiresAfterBothTriggers) {
   std::vector<std::string> errors;
-  hv_.SetErrorHandler([&](hw::CpuId, hv::DetectionKind, const std::string& w) {
-    errors.push_back(w);
+  hv_.SetErrorHandler([&](const hv::DetectionEvent& ev) {
+    errors.push_back(ev.detail);
   });
   inject::FaultInjector inj(hv_, {}, 7);
   inject::InjectionPlan plan;

@@ -37,7 +37,7 @@ TEST(SharedCpuTest, RecoveryWorksWithPopulatedRunqueues) {
   core::TargetSystem sys(cfg);
   const core::RunResult r = sys.Run();
   EXPECT_EQ(r.outcome, core::OutcomeClass::kDetected);
-  EXPECT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.success) << r.failure_detail;
 }
 
 TEST(MemoryFaultTest, OutcomeMixSkewsTowardSdc) {
