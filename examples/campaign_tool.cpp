@@ -7,8 +7,13 @@
 //   campaign_tool [--mech=nilihype|rehype|none] [--fault=failstop|register|code]
 //                 [--setup=1appvm|3appvm] [--bench=unix|blk|net]
 //                 [--runs=N] [--seed=N] [--verbose]
+//                 [--audit] [--audit-out=FILE.json]
 //                 [--trace-out=FILE.json] [--metrics-out=FILE.json]
 //
+// --audit runs the state auditor at the end of every run (differential
+// against a pre-injection golden snapshot) and splits the success rate into
+// audit-clean vs latent-corruption. --audit-out additionally replays seed0
+// and writes its full finding list as JSON (implies --audit).
 // --trace-out replays the campaign's first run (seed0) with span tracing
 // enabled and writes a Chrome trace_event JSON (load in chrome://tracing or
 // Perfetto). --metrics-out writes the campaign aggregate plus the replayed
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   bool one_appvm = false;
   std::string trace_out;
   std::string metrics_out;
+  std::string audit_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +79,11 @@ int main(int argc, char** argv) {
       opts.runs = std::atoi(val("--runs="));
     } else if (arg.rfind("--seed=", 0) == 0) {
       opts.seed0 = static_cast<std::uint64_t>(std::atoll(val("--seed=")));
+    } else if (arg == "--audit") {
+      cfg.audit = true;
+    } else if (arg.rfind("--audit-out=", 0) == 0) {
+      audit_out = val("--audit-out=");
+      cfg.audit = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = val("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -88,9 +99,11 @@ int main(int argc, char** argv) {
   if (one_appvm) {
     const core::Mechanism mech = cfg.mechanism;
     const inject::FaultType fault = cfg.fault;
+    const bool audit = cfg.audit;
     cfg = core::RunConfig::OneAppVm(bench);
     cfg.mechanism = mech;
     cfg.fault = fault;
+    cfg.audit = audit;
   }
 
   std::printf("campaign: %s, %s faults, %s, %d runs (seed0=%llu)\n",
@@ -117,6 +130,18 @@ int main(int argc, char** argv) {
   std::printf("successful recovery rate: %s\n", res.success.ToString().c_str());
   std::printf("no-VM-failures (noVMF):   %s\n",
               res.no_vm_failures.ToString().c_str());
+  if (cfg.audit) {
+    std::printf("audit-clean successes:    %s\n",
+                res.audit_clean.ToString().c_str());
+    std::printf("latent corruption:        %s\n",
+                res.latent_corruption.ToString().c_str());
+    if (!res.audit_findings_by_subsystem.empty()) {
+      std::printf("audit findings by subsystem:\n");
+      for (const auto& [subsystem, count] : res.audit_findings_by_subsystem) {
+        std::printf("  %4d  %s\n", count, subsystem.c_str());
+      }
+    }
+  }
   if (!res.failure_reasons.empty()) {
     std::printf("failure causes:\n");
     for (const auto& [reason, count] : res.failure_reasons) {
@@ -137,12 +162,25 @@ int main(int argc, char** argv) {
   // Replay the first run with tracing enabled for the trace/metrics
   // artifacts: campaigns run many hypervisors in parallel, so per-run
   // telemetry comes from a deterministic replay of seed0.
-  if (!trace_out.empty() || !metrics_out.empty()) {
+  if (!trace_out.empty() || !metrics_out.empty() || !audit_out.empty()) {
     core::RunConfig rcfg = cfg;
     rcfg.seed = opts.seed0;
     core::TargetSystem sys(rcfg);
     sys.EnableTracing();
-    sys.Run();
+    const core::RunResult replay = sys.Run();
+    if (!audit_out.empty()) {
+      std::string json =
+          "{\"campaign\":" + res.ToJson() +
+          ",\"replay_seed0_audit\":{\"audit_clean\":" +
+          (replay.audit_clean ? "true" : "false") +
+          ",\"latent_corruption\":" +
+          (replay.latent_corruption ? "true" : "false") +
+          ",\"modeled_cost_us\":" +
+          std::to_string(sim::ToMicros(replay.audit_report.modeled_cost)) +
+          ",\"findings\":" + replay.audit_report.ToJson() + "}}";
+      if (!WriteFile(audit_out, json)) return 1;
+      std::printf("audit report written to %s\n", audit_out.c_str());
+    }
     if (!trace_out.empty()) {
       if (!WriteFile(trace_out, sys.hv().tracer().ToChromeJson())) return 1;
       std::printf("trace (%zu spans) written to %s\n",

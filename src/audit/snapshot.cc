@@ -1,0 +1,38 @@
+#include "audit/snapshot.h"
+
+namespace nlh::audit {
+
+GoldenSnapshot GoldenSnapshot::Capture(hv::Hypervisor& hv) {
+  GoldenSnapshot s;
+  s.captured = true;
+  s.captured_at = hv.Now();
+
+  s.frames_allocated = hv.frames().allocated_frames();
+
+  const hv::HvHeap& heap = hv.heap();
+  s.heap_allocated_pages = heap.allocated_pages();
+  s.heap_objects = heap.num_objects();
+  for (const auto& [id, obj] : heap.objects()) {
+    s.heap_object_ids.insert(id);
+    ++s.heap_objects_by_tag[obj.tag];
+  }
+
+  for (int c = 0; c < hv.platform().num_cpus(); ++c) {
+    int recurring = 0;
+    for (const hv::SoftTimer& t : hv.timers(c).entries()) {
+      if (t.is_system_recurring) ++recurring;
+    }
+    s.recurring_timers_by_cpu[c] = recurring;
+  }
+
+  for (const auto& [id, dom] : hv.domains()) {
+    s.domains.insert(id);
+    s.open_event_ports += dom.evtchn.OpenCount();
+    s.mapped_grants += dom.grants.MappedCount();
+  }
+
+  s.statics_corrupted = hv.statics().CorruptedCount();
+  return s;
+}
+
+}  // namespace nlh::audit

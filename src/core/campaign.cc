@@ -74,7 +74,15 @@ std::string CampaignResult::ToJson() const {
   out += ",\"detected\":" + std::to_string(detected);
   out += ",\"success\":" + success.ToJson();
   out += ",\"no_vm_failures\":" + no_vm_failures.ToJson();
-  out += ",\"failure_reasons\":{";
+  out += ",\"audit_clean\":" + audit_clean.ToJson();
+  out += ",\"latent_corruption\":" + latent_corruption.ToJson();
+  out += ",\"audit_findings_by_subsystem\":{";
+  for (std::size_t i = 0; i < audit_findings_by_subsystem.size(); ++i) {
+    if (i) out += ",";
+    out += sim::JsonStr(audit_findings_by_subsystem[i].first);
+    out += ":" + std::to_string(audit_findings_by_subsystem[i].second);
+  }
+  out += "},\"failure_reasons\":{";
   for (std::size_t i = 0; i < failure_reasons.size(); ++i) {
     if (i) out += ",";
     out += sim::JsonStr(hv::FailureReasonName(failure_reasons[i].first));
@@ -95,12 +103,13 @@ CampaignResult RunCampaign(const RunConfig& config,
   CampaignResult result;
   result.runs = options.runs;
 
-  std::mutex mu;
-  std::map<FailureReason, int> reasons;
-  // Phase samples in first-observed order (matches step execution order).
-  std::vector<std::string> phase_order;
-  std::map<std::string, std::vector<double>> phase_samples;
-  std::vector<double> total_samples;
+  // Workers only *collect* per-run results, each into its own slot; all
+  // aggregation happens after the join, in run-index order. This makes the
+  // campaign result — including first-observed phase order and audit
+  // tallies — bit-identical regardless of thread count or scheduling.
+  std::vector<RunResult> run_results(
+      static_cast<std::size_t>(std::max(options.runs, 0)));
+  std::mutex mu;  // serializes on_run only
   std::atomic<int> next{0};
 
   int nthreads = options.threads > 0
@@ -116,41 +125,11 @@ CampaignResult RunCampaign(const RunConfig& config,
       RunConfig cfg = config;
       cfg.seed = options.seed0 + static_cast<std::uint64_t>(i);
       TargetSystem sys(cfg);
-      const RunResult r = sys.Run();
-
-      std::lock_guard<std::mutex> lock(mu);
-      switch (r.outcome) {
-        case OutcomeClass::kNonManifested:
-          ++result.non_manifested;
-          break;
-        case OutcomeClass::kSdc:
-          ++result.sdc;
-          break;
-        case OutcomeClass::kDetected:
-          ++result.detected;
-          ++result.success.denom;
-          ++result.no_vm_failures.denom;
-          if (r.success) ++result.success.numer;
-          if (r.no_vm_failures) ++result.no_vm_failures.numer;
-          if (!r.success) ++reasons[r.failure_reason];
-          if (!r.recovery_phases.empty()) {
-            double total_ms = 0.0;
-            for (const PhaseLatency& p : r.recovery_phases) {
-              auto it = phase_samples.find(p.phase);
-              if (it == phase_samples.end()) {
-                phase_order.push_back(p.phase);
-                it = phase_samples.emplace(p.phase, std::vector<double>{})
-                         .first;
-              }
-              const double ms = sim::ToMillisF(p.latency);
-              it->second.push_back(ms);
-              total_ms += ms;
-            }
-            total_samples.push_back(total_ms);
-          }
-          break;
+      run_results[static_cast<std::size_t>(i)] = sys.Run();
+      if (options.on_run) {
+        std::lock_guard<std::mutex> lock(mu);
+        options.on_run(i, run_results[static_cast<std::size_t>(i)]);
       }
-      if (options.on_run) options.on_run(i, r);
     }
   };
 
@@ -159,9 +138,68 @@ CampaignResult RunCampaign(const RunConfig& config,
   for (int t = 0; t < nthreads; ++t) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
 
+  std::map<FailureReason, int> reasons;
+  // Phase samples in first-observed order (matches step execution order;
+  // deterministic because aggregation walks runs in index order).
+  std::vector<std::string> phase_order;
+  std::map<std::string, std::vector<double>> phase_samples;
+  std::vector<double> total_samples;
+  std::map<std::string, int> audit_findings;
+
+  for (const RunResult& r : run_results) {
+    switch (r.outcome) {
+      case OutcomeClass::kNonManifested:
+        ++result.non_manifested;
+        break;
+      case OutcomeClass::kSdc:
+        ++result.sdc;
+        break;
+      case OutcomeClass::kDetected:
+        ++result.detected;
+        ++result.success.denom;
+        ++result.no_vm_failures.denom;
+        if (r.success) ++result.success.numer;
+        if (r.no_vm_failures) ++result.no_vm_failures.numer;
+        if (!r.success) ++reasons[r.failure_reason];
+        if (r.audited && r.success) {
+          ++result.audit_clean.denom;
+          ++result.latent_corruption.denom;
+          if (r.audit_clean) ++result.audit_clean.numer;
+          if (r.latent_corruption) ++result.latent_corruption.numer;
+        }
+        if (!r.recovery_phases.empty()) {
+          double total_ms = 0.0;
+          for (const PhaseLatency& p : r.recovery_phases) {
+            auto it = phase_samples.find(p.phase);
+            if (it == phase_samples.end()) {
+              phase_order.push_back(p.phase);
+              it = phase_samples.emplace(p.phase, std::vector<double>{}).first;
+            }
+            const double ms = sim::ToMillisF(p.latency);
+            it->second.push_back(ms);
+            total_ms += ms;
+          }
+          total_samples.push_back(total_ms);
+        }
+        break;
+    }
+    if (r.audited) {
+      for (const audit::AuditFinding& f : r.audit_report.findings) {
+        if (f.severity != audit::AuditSeverity::kInfo) {
+          ++audit_findings[audit::AuditSubsystemName(f.subsystem)];
+        }
+      }
+    }
+  }
+
   result.failure_reasons.assign(reasons.begin(), reasons.end());
   std::sort(result.failure_reasons.begin(), result.failure_reasons.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  result.audit_findings_by_subsystem.assign(audit_findings.begin(),
+                                            audit_findings.end());
   for (const std::string& phase : phase_order) {
     result.phase_latency.push_back(Aggregate(phase, phase_samples[phase]));
   }

@@ -44,6 +44,16 @@ struct CampaignResult {
   Proportion success;        // successful recovery rate (Figure 2)
   Proportion no_vm_failures;  // noVMF (Figure 2)
 
+  // Audit-refined split of `success` (populated when RunConfig::audit):
+  // every successful recovery is either audit-clean or carries latent
+  // corruption the behavioral classification cannot see. Denominator is
+  // the audited successful runs; audit_clean + latent_corruption == it.
+  Proportion audit_clean;
+  Proportion latent_corruption;
+  // Corruption findings (severity above info) across all audited runs,
+  // tallied by subsystem slug in lexicographic order.
+  std::vector<std::pair<std::string, int>> audit_findings_by_subsystem;
+
   // Failure-reason tally (recovery-failure analysis, Section VII-A), keyed
   // by the typed reason so aggregation cannot drift on message wording.
   std::vector<std::pair<FailureReason, int>> failure_reasons;

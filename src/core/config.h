@@ -67,6 +67,12 @@ struct RunConfig {
 
   std::uint64_t seed = 1;
 
+  // --- State audit ----------------------------------------------------------
+  // Capture a golden snapshot of the hypervisor state before injection and
+  // run a full state audit (audit/state_auditor.h) at the end of the run.
+  // Splits "successful recovery" into audit-clean vs latent-corruption.
+  bool audit = false;
+
   // NetBench evaluation: exclude the detection+recovery interval from the
   // 10%-rate-drop criterion (the interruption itself is reported as
   // recovery latency, Section VII-B). See EXPERIMENTS.md for discussion.

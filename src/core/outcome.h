@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/finding.h"
 #include "hv/failure.h"
 #include "sim/time.h"
 
@@ -63,6 +64,16 @@ struct RunResult {
   bool no_vm_failures = false;    // noVMF: no AppVM affected at all
   FailureReason failure_reason = FailureReason::kNone;
   std::string failure_detail;
+
+  // State audit (RunConfig::audit): full end-of-run sweep, differential
+  // against the pre-injection golden snapshot. `audit_clean` means no
+  // finding above info severity; a *successful* recovery that is not clean
+  // carries latent corruption — the residual-failure class the behavioral
+  // classification above cannot see.
+  bool audited = false;
+  audit::AuditReport audit_report;
+  bool audit_clean = false;
+  bool latent_corruption = false;  // success && !audit_clean
 
   // NetBench service measurement (when a NetBench VM is present).
   sim::Duration net_max_gap = 0;

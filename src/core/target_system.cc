@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/state_auditor.h"
 #include "recovery/nilihype.h"
 #include "recovery/rehype.h"
 
@@ -118,6 +119,10 @@ void TargetSystem::Build() {
       peer_->Start(platform_->Now() + config_.netbench_duration);
     });
   }
+
+  // Golden snapshot of the healthy platform, captured before the injection
+  // can fire (differential audit baseline).
+  if (config_.audit) golden_ = audit::GoldenSnapshot::Capture(*hv_);
 
   if (config_.inject) ArmInjection();
 
@@ -389,6 +394,17 @@ RunResult TargetSystem::Classify() {
       }
     }
   }
+  // State audit: a run that passed the behavioral classification can still
+  // carry latent corruption inside the hypervisor. The sweep runs on the
+  // quiescent end-of-run platform (even a dead one — every walk is bounded).
+  if (config_.audit) {
+    audit::StateAuditor auditor(*hv_);
+    r.audited = true;
+    r.audit_report = golden_.captured ? auditor.Audit(golden_) : auditor.Audit();
+    r.audit_clean = r.audit_report.CorruptionCount() == 0;
+    r.latent_corruption = r.success && !r.audit_clean;
+  }
+
   BuildTimeline(r);
   return r;
 }
@@ -440,6 +456,15 @@ void TargetSystem::BuildTimeline(const RunResult& r) {
     timeline_.Add(platform_->Now(), "vm",
                   std::string("post-recovery VM creation check: ") +
                       (r.vm3_ok ? "passed" : "FAILED"));
+  }
+  if (r.audited) {
+    std::string what = r.audit_clean
+                           ? "state audit clean"
+                           : "state audit found " +
+                                 std::to_string(r.audit_report.CorruptionCount()) +
+                                 " corruption finding(s)";
+    if (r.latent_corruption) what += " (latent: run classified successful)";
+    timeline_.Add(platform_->Now(), "audit", what);
   }
   if (r.system_dead) {
     timeline_.Add(platform_->Now(), "system", "platform dead: " + r.death_reason);

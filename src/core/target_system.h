@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/snapshot.h"
 #include "core/config.h"
 #include "core/outcome.h"
 #include "core/timeline.h"
@@ -59,6 +60,8 @@ class TargetSystem {
     return appvms_;
   }
   guest::NetPeer* net_peer() { return peer_.get(); }
+  // The pre-injection golden snapshot (captured only when config.audit).
+  const audit::GoldenSnapshot& golden_snapshot() const { return golden_; }
   const inject::InjectionRecord* injection() const {
     return injector_ ? &injector_->record() : nullptr;
   }
@@ -108,6 +111,7 @@ class TargetSystem {
   sim::Rng run_rng_;
 
   Timeline timeline_;
+  audit::GoldenSnapshot golden_;
   guest::AppVmKernel* vm3_ = nullptr;
   bool vm3_attempted_ = false;
   bool vm3_created_ = false;

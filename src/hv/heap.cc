@@ -207,6 +207,28 @@ void HvHeap::CorruptFreeList(bool fatal) {
   c.next = fatal ? kPoisonChunk : free_head_;  // wild pointer or self-cycle
 }
 
+void HvHeap::CorruptObjectExtent(HeapObjectId id) {
+  HeapObject* obj = Find(id);
+  HvAssert(obj != nullptr, "corrupting extent of unknown heap object");
+  ++obj->first_frame;
+}
+
+std::vector<std::pair<FrameNumber, std::uint64_t>> HvHeap::FreeChunkExtents()
+    const {
+  std::vector<std::pair<FrameNumber, std::uint64_t>> extents;
+  std::int64_t idx = free_head_;
+  int steps = 0;
+  while (idx != kNullChunk) {
+    if (idx < 0 || idx >= static_cast<std::int64_t>(chunks_.size())) return {};
+    const Chunk& c = chunks_[static_cast<std::size_t>(idx)];
+    if (!c.live) return {};
+    extents.emplace_back(c.first_frame, c.pages);
+    if (++steps > kMaxWalk) return {};
+    idx = c.next;
+  }
+  return extents;
+}
+
 bool HvHeap::CheckFreeListIntegrity() const {
   std::int64_t idx = free_head_;
   int steps = 0;

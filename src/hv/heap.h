@@ -61,6 +61,17 @@ class HvHeap {
   std::uint64_t free_pages() const { return free_pages_; }
   std::uint64_t num_objects() const { return objects_.size(); }
   std::uint64_t total_pages() const { return total_pages_; }
+  FrameNumber heap_base() const { return heap_base_; }
+
+  // Read-only view of the live objects (audit / census walkers).
+  const std::map<HeapObjectId, HeapObject>& objects() const {
+    return objects_;
+  }
+
+  // Safe, non-throwing free-list walk for the audit engine: returns the
+  // (first_frame, pages) extent of every reachable free chunk, or an empty
+  // vector if the linkage is corrupt (wild pointer or cycle).
+  std::vector<std::pair<FrameNumber, std::uint64_t>> FreeChunkExtents() const;
 
   // --- Recovery operations -------------------------------------------------
 
@@ -79,6 +90,15 @@ class HvHeap {
   // points the link at garbage (panic on walk); otherwise it creates a
   // cycle (hang on walk).
   void CorruptFreeList(bool fatal);
+
+  // Corrupts a live object's recorded extent (stray write into its header):
+  // shifts first_frame up by one page, so the extent now overlaps whatever
+  // extent follows it in the heap layout.
+  void CorruptObjectExtent(HeapObjectId id);
+
+  // Corrupts the page-accounting counters (stray write): the allocated
+  // count no longer matches the object census.
+  void CorruptAccounting() { ++allocated_pages_; }
   bool free_list_corrupted() const { return corrupted_; }
 
   // Integrity check used by tests and post-run validation.

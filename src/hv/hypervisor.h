@@ -208,6 +208,11 @@ class Hypervisor {
     return device_bindings_;
   }
   sim::Time Now() const { return platform_.queue().Now(); }
+  // Whether the lazy per-CPU scheduler tick has been started (audit uses
+  // this to know if a missing "sched_tick" heap entry is a lost event).
+  bool sched_tick_enabled(hw::CpuId c) const {
+    return sched_tick_enabled_[static_cast<std::size_t>(c)];
+  }
 
   // Global static locks (registered in the static-lock segment).
   SpinLock& domlist_lock() { return domlist_lock_; }

@@ -121,37 +121,42 @@ CorruptionTarget FaultInjector::PickTarget() {
 
 void FaultInjector::ApplyCorruption(CorruptionTarget target) {
   record_.corruptions.push_back(target);
+  ApplyCorruptionTo(hv_, target, rng_, hooks_);
+}
+
+void ApplyCorruptionTo(hv::Hypervisor& hv, CorruptionTarget target,
+                       sim::Rng& rng, const CorruptionHooks& hooks) {
   switch (target) {
     case CorruptionTarget::kFrameDescriptor: {
-      const hv::FrameNumber f = hv_.frames().PickAllocatedFrame(rng_);
+      const hv::FrameNumber f = hv.frames().PickAllocatedFrame(rng);
       if (f == hv::kInvalidFrame) return;
-      hv::PageFrameDescriptor& d = hv_.frames().mutable_desc(f);
-      switch (rng_.Index(3)) {
+      hv::PageFrameDescriptor& d = hv.frames().mutable_desc(f);
+      switch (rng.Index(3)) {
         case 0: d.validated = !d.validated; break;
-        case 1: d.use_count += static_cast<std::int32_t>(rng_.Range(1, 3)); break;
-        default: d.use_count -= static_cast<std::int32_t>(rng_.Range(1, 3)); break;
+        case 1: d.use_count += static_cast<std::int32_t>(rng.Range(1, 3)); break;
+        default: d.use_count -= static_cast<std::int32_t>(rng.Range(1, 3)); break;
       }
       return;
     }
     case CorruptionTarget::kSchedMetadata: {
-      auto& vcpus = hv_.vcpus();
+      auto& vcpus = hv.vcpus();
       if (vcpus.empty()) return;
-      hv::Vcpu& vc = vcpus[rng_.Index(vcpus.size())];
-      switch (rng_.Index(4)) {
+      hv::Vcpu& vc = vcpus[rng.Index(vcpus.size())];
+      switch (rng.Index(4)) {
         case 0:
           vc.running_on = static_cast<hw::CpuId>(
-              rng_.Index(static_cast<std::size_t>(hv_.platform().num_cpus())));
+              rng.Index(static_cast<std::size_t>(hv.platform().num_cpus())));
           break;
         case 1:
           vc.is_current = !vc.is_current;
           break;
         case 2:
-          vc.state = static_cast<hv::VcpuState>(rng_.Index(4));
+          vc.state = static_cast<hv::VcpuState>(rng.Index(4));
           break;
         default: {
-          hv::PerCpuData& pc = hv_.percpu(static_cast<int>(
-              rng_.Index(static_cast<std::size_t>(hv_.platform().num_cpus()))));
-          pc.curr = static_cast<hv::VcpuId>(rng_.Index(vcpus.size()));
+          hv::PerCpuData& pc = hv.percpu(static_cast<int>(
+              rng.Index(static_cast<std::size_t>(hv.platform().num_cpus()))));
+          pc.curr = static_cast<hv::VcpuId>(rng.Index(vcpus.size()));
           break;
         }
       }
@@ -159,42 +164,42 @@ void FaultInjector::ApplyCorruption(CorruptionTarget target) {
     }
     case CorruptionTarget::kStaticVar: {
       const auto v = static_cast<hv::StaticVar>(
-          rng_.Index(static_cast<std::size_t>(hv::kNumStaticVars)));
-      hv_.statics().Corrupt(v);
+          rng.Index(static_cast<std::size_t>(hv::kNumStaticVars)));
+      hv.statics().Corrupt(v);
       return;
     }
     case CorruptionTarget::kHeapFreeList:
-      hv_.heap().CorruptFreeList(/*fatal=*/rng_.Chance(0.5));
+      hv.heap().CorruptFreeList(/*fatal=*/rng.Chance(0.5));
       return;
     case CorruptionTarget::kTimerHeapEntry: {
       const int cpu = static_cast<int>(
-          rng_.Index(static_cast<std::size_t>(hv_.platform().num_cpus())));
-      hv_.timers(cpu).CorruptEntry(rng_.Index(16), rng_.Chance(0.5));
+          rng.Index(static_cast<std::size_t>(hv.platform().num_cpus())));
+      hv.timers(cpu).CorruptEntry(rng.Index(16), rng.Chance(0.5));
       return;
     }
     case CorruptionTarget::kVcpuStruct: {
-      auto& vcpus = hv_.vcpus();
+      auto& vcpus = hv.vcpus();
       if (vcpus.empty()) return;
-      vcpus[rng_.Index(vcpus.size())].struct_corrupted = true;
+      vcpus[rng.Index(vcpus.size())].struct_corrupted = true;
       return;
     }
     case CorruptionTarget::kDomainStruct: {
-      auto& domains = hv_.domains();
+      auto& domains = hv.domains();
       if (domains.empty()) return;
       auto it = domains.begin();
-      std::advance(it, static_cast<std::ptrdiff_t>(rng_.Index(domains.size())));
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.Index(domains.size())));
       it->second.struct_corrupted = true;
       return;
     }
     case CorruptionTarget::kPrivVmState:
-      if (hooks_.corrupt_privvm) hooks_.corrupt_privvm();
+      if (hooks.corrupt_privvm) hooks.corrupt_privvm();
       return;
     case CorruptionTarget::kRecoveryPath:
-      hv_.CorruptRecoveryPath();
+      hv.CorruptRecoveryPath();
       return;
     case CorruptionTarget::kGuestMemory:
-      if (hooks_.corrupt_random_appvm_memory) {
-        hooks_.corrupt_random_appvm_memory();
+      if (hooks.corrupt_random_appvm_memory) {
+        hooks.corrupt_random_appvm_memory();
       }
       return;
     case CorruptionTarget::kCount:

@@ -45,6 +45,14 @@ struct InjectionRecord {
   std::vector<CorruptionTarget> corruptions;
 };
 
+// Applies one corruption of `target` to the hypervisor — the mutation step
+// the injector performs, exposed as a free function so tests can plant an
+// exact corruption class and assert the audit engine reports it. Targets
+// that damage guest-side state use `hooks` (pass a default-constructed
+// CorruptionHooks to limit effects to the hypervisor).
+void ApplyCorruptionTo(hv::Hypervisor& hv, CorruptionTarget target,
+                       sim::Rng& rng, const CorruptionHooks& hooks);
+
 class FaultInjector {
  public:
   FaultInjector(hv::Hypervisor& hv, CorruptionHooks hooks, std::uint64_t seed)

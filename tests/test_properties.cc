@@ -5,7 +5,13 @@
 // the enhancements make recovery safe on arbitrarily damaged state.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/state_auditor.h"
 #include "core/target_system.h"
+#include "sim/rng.h"
 
 namespace nlh {
 namespace {
@@ -118,6 +124,110 @@ TEST(EnhancementMonotonicity, MoreEnhancementsNeverHurtMuch) {
     prev = std::max(prev, rate);
   }
   EXPECT_GT(prev, 0.8);  // fully enhanced recovers the large majority
+}
+
+// Property: the auditor has no false positives. Any sequence of *completed*
+// hypervisor operations — allocations, frees, grants, timers, balanced
+// reference taking, real execution of the event queue — interleaved with
+// audit sweeps on an uninjected platform must never produce a finding.
+TEST(AuditProperty, RandomizedOpsNeverProduceFindings) {
+  for (std::uint64_t seed = 50; seed < 56; ++seed) {
+    hw::PlatformConfig pc;
+    pc.num_cpus = 4;
+    pc.memory_gib = 8;
+    hw::Platform platform(pc, seed);
+    hv::Hypervisor hv(platform, hv::HvConfig{});
+    hv.Boot();
+    const hv::DomainId a = hv.CreateDomainDirect("a", false, 1, 32);
+    const hv::DomainId b = hv.CreateDomainDirect("b", false, 2, 32);
+    hv.StartDomain(a);
+    hv.StartDomain(b);
+
+    sim::Rng rng(seed * 1337);
+    std::vector<hv::HeapObjectId> objs;
+    std::vector<std::pair<hv::DomainId, hv::GrantRef>> grants;
+    std::vector<std::pair<int, hv::TimerId>> timers;
+    auto pick_dom = [&] { return rng.Chance(0.5) ? a : b; };
+
+    for (int op = 0; op < 300; ++op) {
+      switch (rng.Index(8)) {
+        case 0:
+          if (objs.size() < 50) {
+            objs.push_back(hv.heap().Alloc(
+                "scratch:" + std::to_string(op), 1 + rng.Index(3)));
+          }
+          break;
+        case 1:
+          if (!objs.empty()) {
+            const std::size_t i = rng.Index(objs.size());
+            hv.heap().Free(objs[i]);
+            objs[i] = objs.back();
+            objs.pop_back();
+          }
+          break;
+        case 2: {
+          const hv::DomainId d = pick_dom();
+          hv::Domain* dom = hv.FindDomain(d);
+          const hv::GrantRef r = dom->grants.TryGrant(
+              d == a ? b : a,
+              dom->first_frame +
+                  static_cast<hv::FrameNumber>(rng.Index(dom->num_frames)));
+          if (r != hv::kInvalidGrant) grants.emplace_back(d, r);
+          break;
+        }
+        case 3:
+          if (!grants.empty()) {
+            const std::size_t i = rng.Index(grants.size());
+            hv.FindDomain(grants[i].first)->grants.Revoke(grants[i].second);
+            grants[i] = grants.back();
+            grants.pop_back();
+          }
+          break;
+        case 4: {
+          const int cpu = static_cast<int>(rng.Index(4));
+          hv::SoftTimer t;
+          t.name = "aux:" + std::to_string(op);
+          t.deadline = hv.Now() + sim::Milliseconds(
+                                      1 + static_cast<sim::Duration>(
+                                              rng.Index(500)));
+          timers.emplace_back(cpu, hv.timers(cpu).Insert(std::move(t)));
+          break;
+        }
+        case 5:
+          if (!timers.empty()) {
+            const std::size_t i = rng.Index(timers.size());
+            hv.timers(timers[i].first).Remove(timers[i].second);
+            timers[i] = timers.back();
+            timers.pop_back();
+          }
+          break;
+        case 6: {
+          // A completed get/put reference pair (balanced by definition).
+          hv::Domain* dom = hv.FindDomain(pick_dom());
+          const hv::FrameNumber f =
+              dom->first_frame +
+              static_cast<hv::FrameNumber>(rng.Index(dom->num_frames));
+          hv.frames().GetPage(f);
+          hv.frames().PutPage(f);
+          break;
+        }
+        default:
+          // Real execution: run the platform forward a little.
+          platform.queue().RunUntil(hv.Now() + sim::Milliseconds(2));
+          break;
+      }
+
+      if (op % 50 == 49) {
+        audit::StateAuditor auditor(hv);
+        const audit::AuditReport r = auditor.Audit();
+        for (const audit::AuditFinding& f : r.findings) {
+          ADD_FAILURE() << "seed " << seed << " op " << op << ": "
+                        << f.invariant << " — " << f.detail;
+        }
+        if (!r.clean()) return;  // one dump is enough
+      }
+    }
+  }
 }
 
 }  // namespace
