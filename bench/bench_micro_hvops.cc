@@ -48,6 +48,30 @@ void BM_HypercallMmuUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_HypercallMmuUpdate)->Arg(0)->Arg(1);
 
+// Flight-recorder cost on the hypercall hot path: Arg(0) recorder off (the
+// campaign configuration — one disabled-recorder branch per NLH_RECORD
+// site), Arg(1) recorder on (the forensic-replay configuration, full ring
+// writes). With -DNLH_FLIGHT_RECORDER=OFF both match the pre-recorder
+// baseline exactly: the macro compiles to ((void)0).
+void BM_HypercallRecorder(benchmark::State& state) {
+  World w;
+  if (state.range(0) != 0) {
+    w.hv.flight_recorder().Enable(w.platform.num_cpus());
+  } else {
+    w.hv.flight_recorder().Disable();
+  }
+  hv::HypercallArgs a;
+  bool map = true;
+  for (auto _ : state) {
+    a.arg0 = 5;
+    a.arg1 = map ? 1 : 0;
+    benchmark::DoNotOptimize(
+        w.hv.Hypercall(w.vcpu, hv::HypercallCode::kMmuUpdate, a));
+    map = !map;
+  }
+}
+BENCHMARK(BM_HypercallRecorder)->Arg(0)->Arg(1);
+
 void BM_HypercallMulticall4(benchmark::State& state) {
   World w;
   hv::HypercallArgs a;

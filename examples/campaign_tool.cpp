@@ -9,6 +9,8 @@
 //                 [--runs=N] [--seed=N] [--verbose]
 //                 [--audit] [--audit-out=FILE.json]
 //                 [--trace-out=FILE.json] [--metrics-out=FILE.json]
+//                 [--dossier-dir=DIR] [--replay=RUN_ID]
+//                 [--profile-out=FILE.folded]
 //
 // --audit runs the state auditor at the end of every run (differential
 // against a pre-injection golden snapshot) and splits the success rate into
@@ -18,13 +20,33 @@
 // enabled and writes a Chrome trace_event JSON (load in chrome://tracing or
 // Perfetto). --metrics-out writes the campaign aggregate plus the replayed
 // run's metrics registry as JSON.
+//
+// Forensics:
+// --dossier-dir=DIR  after the campaign, deterministically replay every
+//                    non-successful run (failed recovery, SDC, or latent
+//                    corruption when --audit) with the flight recorder and
+//                    tracer on, and write one dossier per run to
+//                    DIR/run_<run_id>.json (run_id == the run's seed; the
+//                    directory is created if missing).
+// --replay=RUN_ID    skip the campaign and replay that one run with full
+//                    telemetry (kTrace logging to stderr); writes its
+//                    dossier to --dossier-dir (default "dossiers") and, with
+//                    --profile-out, a flamegraph.pl-compatible
+//                    collapsed-stack profile of the simulated time.
+// --profile-out=F    write the collapsed-stack profile of the replayed run
+//                    (with --replay, or of the seed0 replay otherwise).
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/campaign.h"
 #include "core/target_system.h"
+#include "forensics/dossier.h"
+#include "forensics/profiler.h"
 
 using namespace nlh;
 
@@ -52,6 +74,10 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string audit_out;
+  std::string dossier_dir;
+  std::string profile_out;
+  bool replay_mode = false;
+  std::uint64_t replay_id = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +114,13 @@ int main(int argc, char** argv) {
       trace_out = val("--trace-out=");
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = val("--metrics-out=");
+    } else if (arg.rfind("--dossier-dir=", 0) == 0) {
+      dossier_dir = val("--dossier-dir=");
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_mode = true;
+      replay_id = static_cast<std::uint64_t>(std::atoll(val("--replay=")));
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = val("--profile-out=");
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
@@ -106,20 +139,75 @@ int main(int argc, char** argv) {
     cfg.audit = audit;
   }
 
+  if (replay_mode) {
+    // Forensic replay of one run: same config, seed == run_id, recorder +
+    // tracer on, kTrace logging to stderr. Deterministic, so this is the
+    // exact execution the campaign saw.
+    std::printf("replaying run %llu (%s, %s faults, %s) with full telemetry\n",
+                static_cast<unsigned long long>(replay_id),
+                core::MechanismName(cfg.mechanism),
+                inject::FaultTypeName(cfg.fault),
+                one_appvm ? "1AppVM" : "3AppVM");
+    forensics::ReplayOptions ropts;
+    ropts.log_level = sim::LogLevel::kTrace;
+    const forensics::ReplayArtifacts art =
+        forensics::ReplayRun(cfg, replay_id, ropts);
+    const core::RunResult& r = art.result;
+    std::printf("\noutcome: %s%s\n", core::OutcomeClassName(r.outcome),
+                r.outcome == core::OutcomeClass::kDetected
+                    ? (r.success ? " (recovered)" : " (recovery FAILED)")
+                    : "");
+    if (r.detected) {
+      std::printf("detection: %s/%s on cpu%d (%s, class=%s)\n",
+                  hv::DetectionKindName(r.detection.kind),
+                  hv::FailureCodeName(r.detection.code), r.detection.cpu,
+                  r.detection.detail.c_str(),
+                  forensics::DetectionClassName(r.detection_class));
+    }
+    if (!r.success && r.failure_reason != hv::FailureReason::kNone) {
+      std::printf("failure: %s (%s)\n", hv::FailureReasonName(r.failure_reason),
+                  r.failure_detail.c_str());
+    }
+    // Written with default options (log level kNone), so the dossier is
+    // byte-identical to the one a campaign --dossier-dir pass emits: the
+    // stderr log level above must not perturb the artifact.
+    const std::string dir = dossier_dir.empty() ? "dossiers" : dossier_dir;
+    const std::string path = forensics::WriteDossier(cfg, replay_id, dir);
+    if (path.empty()) {
+      std::printf("cannot write dossier under %s\n", dir.c_str());
+      return 1;
+    }
+    std::printf("dossier written to %s\n", path.c_str());
+    if (!profile_out.empty()) {
+      if (!WriteFile(profile_out, art.profile)) return 1;
+      std::printf("collapsed-stack profile written to %s\n",
+                  profile_out.c_str());
+    }
+    return 0;
+  }
+
   std::printf("campaign: %s, %s faults, %s, %d runs (seed0=%llu)\n",
               core::MechanismName(cfg.mechanism),
               inject::FaultTypeName(cfg.fault),
               one_appvm ? "1AppVM" : "3AppVM", opts.runs,
               static_cast<unsigned long long>(opts.seed0));
 
-  if (verbose) {
-    opts.on_run = [](int i, const core::RunResult& r) {
-      std::printf("  run %4d: %-14s %s%s\n", i,
-                  core::OutcomeClassName(r.outcome),
-                  r.outcome == core::OutcomeClass::kDetected
-                      ? (r.success ? "recovered" : "FAILED: ")
-                      : "",
-                  r.success ? "" : r.failure_detail.c_str());
+  // Run ids (== seeds) of runs that deserve a failure dossier, collected as
+  // the campaign goes (on_run is called under a lock).
+  std::vector<std::uint64_t> dossier_runs;
+  if (verbose || !dossier_dir.empty()) {
+    opts.on_run = [&](int i, const core::RunResult& r) {
+      if (verbose) {
+        std::printf("  run %4d: %-14s %s%s\n", i,
+                    core::OutcomeClassName(r.outcome),
+                    r.outcome == core::OutcomeClass::kDetected
+                        ? (r.success ? "recovered" : "FAILED: ")
+                        : "",
+                    r.success ? "" : r.failure_detail.c_str());
+      }
+      if (!dossier_dir.empty() && forensics::DossierWorthy(r)) {
+        dossier_runs.push_back(opts.seed0 + static_cast<std::uint64_t>(i));
+      }
     };
   }
 
@@ -159,10 +247,44 @@ int main(int argc, char** argv) {
                 res.total_latency.samples);
   }
 
+  if (!res.detection_latency_by_class.empty()) {
+    std::printf(
+        "detection: %d prompt, %d late, %d misdetected, %d silent\n",
+        res.detected_prompt, res.detected_late, res.misdetected, res.silent);
+    std::printf("detection latency by fault class (ms):\n");
+    for (const core::DetectionLatencyAggregate& a :
+         res.detection_latency_by_class) {
+      std::printf("  %-16s mean %8.3f  p50 %8.3f  p99 %8.3f  max %8.3f (n=%d)\n",
+                  a.fault_class.c_str(), a.mean_ms, a.p50_ms, a.p99_ms,
+                  a.max_ms, a.samples);
+    }
+  }
+
+  // Emit one failure dossier per non-successful run, in run order, by
+  // deterministic replay (see --dossier-dir above).
+  if (!dossier_dir.empty()) {
+    std::sort(dossier_runs.begin(), dossier_runs.end());
+    int written = 0;
+    for (std::uint64_t run_id : dossier_runs) {
+      const std::string path =
+          forensics::WriteDossier(cfg, run_id, dossier_dir);
+      if (path.empty()) {
+        std::printf("cannot write dossier for run %llu under %s\n",
+                    static_cast<unsigned long long>(run_id),
+                    dossier_dir.c_str());
+        return 1;
+      }
+      ++written;
+    }
+    std::printf("%d failure dossier%s written to %s/\n", written,
+                written == 1 ? "" : "s", dossier_dir.c_str());
+  }
+
   // Replay the first run with tracing enabled for the trace/metrics
   // artifacts: campaigns run many hypervisors in parallel, so per-run
   // telemetry comes from a deterministic replay of seed0.
-  if (!trace_out.empty() || !metrics_out.empty() || !audit_out.empty()) {
+  if (!trace_out.empty() || !metrics_out.empty() || !audit_out.empty() ||
+      !profile_out.empty()) {
     core::RunConfig rcfg = cfg;
     rcfg.seed = opts.seed0;
     core::TargetSystem sys(rcfg);
@@ -192,6 +314,13 @@ int main(int argc, char** argv) {
                          sys.hv().metrics().ToJson() + "}";
       if (!WriteFile(metrics_out, json)) return 1;
       std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    if (!profile_out.empty()) {
+      const std::string profile =
+          forensics::CollapsedStackProfile(sys.hv().tracer().Snapshot());
+      if (!WriteFile(profile_out, profile)) return 1;
+      std::printf("collapsed-stack profile written to %s\n",
+                  profile_out.c_str());
     }
   }
   return 0;

@@ -10,6 +10,7 @@
 
 #include "core/target_system.h"
 #include "sim/json.h"
+#include "sim/metrics.h"
 
 namespace nlh::core {
 
@@ -36,13 +37,12 @@ std::string Proportion::ToJson() const {
 
 namespace {
 
-// Nearest-rank quantile on an unsorted copy of the samples.
-double QuantileOf(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(v.size())));
-  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+// Folds the samples into a sim::Histogram so every campaign aggregate uses
+// the same interpolated quantile definition as the metrics registry.
+sim::Histogram HistogramOf(const std::vector<double>& samples) {
+  sim::Histogram h;
+  for (double s : samples) h.Observe(s);
+  return h;
 }
 
 PhaseAggregate Aggregate(const std::string& phase,
@@ -50,10 +50,22 @@ PhaseAggregate Aggregate(const std::string& phase,
   PhaseAggregate agg;
   agg.phase = phase;
   agg.samples = static_cast<int>(samples.size());
-  double sum = 0.0;
-  for (double s : samples) sum += s;
-  agg.mean_ms = samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
-  agg.p99_ms = QuantileOf(samples, 0.99);
+  const sim::Histogram h = HistogramOf(samples);
+  agg.mean_ms = h.Mean();
+  agg.p99_ms = h.Quantile(0.99);
+  return agg;
+}
+
+DetectionLatencyAggregate AggregateDetectionLatency(
+    const std::string& fault_class, const std::vector<double>& samples) {
+  DetectionLatencyAggregate agg;
+  agg.fault_class = fault_class;
+  agg.samples = static_cast<int>(samples.size());
+  const sim::Histogram h = HistogramOf(samples);
+  agg.mean_ms = h.Mean();
+  agg.p50_ms = h.Quantile(0.50);
+  agg.p99_ms = h.Quantile(0.99);
+  agg.max_ms = h.max();
   return agg;
 }
 
@@ -94,6 +106,23 @@ std::string CampaignResult::ToJson() const {
     out += PhaseAggToJson(phase_latency[i]);
   }
   out += "],\"total_latency\":" + PhaseAggToJson(total_latency);
+  out += ",\"detection\":{";
+  out += "\"prompt\":" + std::to_string(detected_prompt);
+  out += ",\"late\":" + std::to_string(detected_late);
+  out += ",\"misdetected\":" + std::to_string(misdetected);
+  out += ",\"silent\":" + std::to_string(silent);
+  out += ",\"latency_by_class\":{";
+  for (std::size_t i = 0; i < detection_latency_by_class.size(); ++i) {
+    const DetectionLatencyAggregate& a = detection_latency_by_class[i];
+    if (i) out += ",";
+    out += sim::JsonStr(a.fault_class) +
+           ":{\"samples\":" + std::to_string(a.samples) +
+           ",\"mean_ms\":" + sim::JsonNum(a.mean_ms, 6) +
+           ",\"p50_ms\":" + sim::JsonNum(a.p50_ms, 6) +
+           ",\"p99_ms\":" + sim::JsonNum(a.p99_ms, 6) +
+           ",\"max_ms\":" + sim::JsonNum(a.max_ms, 6) + "}";
+  }
+  out += "}}";
   out += "}";
   return out;
 }
@@ -145,8 +174,25 @@ CampaignResult RunCampaign(const RunConfig& config,
   std::map<std::string, std::vector<double>> phase_samples;
   std::vector<double> total_samples;
   std::map<std::string, int> audit_findings;
+  // Detection-latency samples keyed by fault class (lexicographic).
+  std::map<std::string, std::vector<double>> det_latency;
 
   for (const RunResult& r : run_results) {
+    // Detection classification is orthogonal to the outcome switch below:
+    // an SDC run with a fired fault counts as silent.
+    switch (r.detection_class) {
+      case forensics::DetectionClass::kPrompt: ++result.detected_prompt; break;
+      case forensics::DetectionClass::kDetectedLate:
+        ++result.detected_late;
+        break;
+      case forensics::DetectionClass::kMisdetected: ++result.misdetected; break;
+      case forensics::DetectionClass::kSilent: ++result.silent; break;
+      case forensics::DetectionClass::kNotApplicable: break;
+    }
+    if (r.injection_fired && r.detected && r.detection_latency >= 0) {
+      det_latency[inject::ManifestationName(r.manifestation)].push_back(
+          sim::ToMillisF(r.detection_latency));
+    }
     switch (r.outcome) {
       case OutcomeClass::kNonManifested:
         ++result.non_manifested;
@@ -204,6 +250,10 @@ CampaignResult RunCampaign(const RunConfig& config,
     result.phase_latency.push_back(Aggregate(phase, phase_samples[phase]));
   }
   result.total_latency = Aggregate("total", total_samples);
+  for (const auto& [fault_class, samples] : det_latency) {
+    result.detection_latency_by_class.push_back(
+        AggregateDetectionLatency(fault_class, samples));
+  }
   return result;
 }
 

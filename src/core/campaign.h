@@ -34,6 +34,18 @@ struct PhaseAggregate {
   double p99_ms = 0.0;
 };
 
+// Injection→detection latency distribution for one fault class
+// (inject::ManifestationName slug), across runs where the fault fired and a
+// detector responded.
+struct DetectionLatencyAggregate {
+  std::string fault_class;
+  int samples = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
 struct CampaignResult {
   int runs = 0;
   int non_manifested = 0;
@@ -62,6 +74,18 @@ struct CampaignResult {
   std::vector<PhaseAggregate> phase_latency;
   // Total recovery latency across detected runs that recovered.
   PhaseAggregate total_latency;  // phase == "total"
+
+  // Root-cause correlation (forensics/correlator.h): how each run's
+  // detection relates to its injected ground truth. `prompt + late +
+  // misdetected + silent` covers every run where the correlator had
+  // something to say (runs classified kNotApplicable are not counted).
+  int detected_prompt = 0;
+  int detected_late = 0;
+  int misdetected = 0;
+  int silent = 0;
+  // Detection-latency histograms per fault class (ManifestationName slug,
+  // lexicographic order).
+  std::vector<DetectionLatencyAggregate> detection_latency_by_class;
 
   // Serializes rates, proportions, failure tally, and phase breakdown.
   std::string ToJson() const;

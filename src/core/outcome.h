@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "audit/finding.h"
+#include "forensics/correlator.h"
 #include "hv/failure.h"
+#include "inject/corruption.h"
 #include "sim/time.h"
 
 namespace nlh::core {
@@ -74,6 +76,18 @@ struct RunResult {
   audit::AuditReport audit_report;
   bool audit_clean = false;
   bool latent_corruption = false;  // success && !audit_clean
+
+  // Forensics: injection ground truth joined against what the detectors
+  // reported (forensics/correlator.h). Populated by TargetSystem::Classify.
+  bool injection_fired = false;
+  sim::Time injected_at = 0;
+  int injection_cpu = -1;
+  inject::Manifestation manifestation = inject::Manifestation::kNone;
+  std::vector<std::string> injection_corruptions;  // CorruptionTargetName
+  hv::DetectionEvent detection;                    // first detection, if any
+  sim::Duration detection_latency = -1;            // injection→detection; -1 n/a
+  forensics::DetectionClass detection_class =
+      forensics::DetectionClass::kNotApplicable;
 
   // NetBench service measurement (when a NetBench VM is present).
   sim::Duration net_max_gap = 0;

@@ -253,6 +253,20 @@ void TargetSystem::TriggerVm3Creation() {
 
 void TargetSystem::RunUntil(sim::Time t) { platform_->queue().RunUntil(t); }
 
+void TargetSystem::EnableFlightRecorder(std::size_t per_cpu_capacity) {
+  hv_->flight_recorder().Enable(platform_->num_cpus(), per_cpu_capacity);
+  // Fold log lines that pass the logger's filtering into the event stream
+  // (the recorder captures them even when the sink/stderr output is off,
+  // as long as the level allows the line through).
+  platform_->log().SetEventHook(
+      [this](sim::LogLevel level, sim::Time /*now*/,
+             const std::string& component, const std::string& message) {
+        hv_->flight_recorder().Record(
+            forensics::EventKind::kLogLine, -1,
+            static_cast<std::uint64_t>(level), 0, component + ": " + message);
+      });
+}
+
 RunResult TargetSystem::Run() {
   auto& queue = platform_->queue();
   std::uint64_t n = 0;
@@ -394,6 +408,27 @@ RunResult TargetSystem::Classify() {
       }
     }
   }
+  // Forensics: join injection ground truth with the first detection.
+  if (injector_ != nullptr && injector_->record().fired) {
+    const inject::InjectionRecord& rec = injector_->record();
+    r.injection_fired = true;
+    r.injected_at = rec.fired_at;
+    r.injection_cpu = rec.cpu;
+    r.manifestation = rec.manifestation;
+    for (const inject::CorruptionTarget t : rec.corruptions) {
+      r.injection_corruptions.emplace_back(inject::CorruptionTargetName(t));
+    }
+  }
+  if (const hv::DetectionEvent* first = hv_->first_detection()) {
+    r.detection = *first;
+    if (r.injection_fired && first->when >= r.injected_at) {
+      r.detection_latency = first->when - r.injected_at;
+    }
+  }
+  r.detection_class = forensics::ClassifyDetection(
+      r.injection_fired, r.manifestation, r.detected, r.detection.kind,
+      r.detection_latency);
+
   // State audit: a run that passed the behavioral classification can still
   // carry latent corruption inside the hypervisor. The sweep runs on the
   // quiescent end-of-run platform (even a dead one — every walk is bounded).

@@ -51,6 +51,12 @@ class TargetSystem {
     hv_->tracer().Enable(capacity);
   }
 
+  // Enables the flight recorder (off by default; see
+  // forensics/flight_recorder.h) and routes platform log lines into it.
+  // Call before Run(); export with hv().flight_recorder().ToJson().
+  void EnableFlightRecorder(
+      std::size_t per_cpu_capacity = forensics::FlightRecorder::kDefaultCapacity);
+
   // --- Component access (tests, examples, benches) --------------------------
   hw::Platform& platform() { return *platform_; }
   hv::Hypervisor& hv() { return *hv_; }

@@ -35,6 +35,8 @@ class HangDetector {
   void OnNmi(hw::CpuId cpu) {
     const std::size_t i = static_cast<std::size_t>(cpu);
     const std::uint64_t count = hv_.percpu(cpu).watchdog_soft_count;
+    NLH_RECORD(forensics::EventKind::kNmi, cpu, count,
+               static_cast<std::uint64_t>(misses_[i]));
     if (count != last_count_[i]) {
       last_count_[i] = count;
       misses_[i] = 0;

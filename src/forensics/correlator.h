@@ -1,0 +1,95 @@
+// Root-cause correlator: joins injection ground truth (what fault fired,
+// when, and how it should manifest) with what the detectors actually
+// reported, yielding a per-run detection classification and the
+// injection→detection latency — a quantity the paper only reports
+// indirectly (through the detection-latency discussion of Section VII-A).
+//
+// Header-only on purpose: core/outcome.h and core/campaign.cc use it, and
+// it must depend on nothing heavier than the manifestation and detection
+// enums.
+#pragma once
+
+#include "hv/failure.h"
+#include "inject/corruption.h"
+#include "sim/time.h"
+
+namespace nlh::forensics {
+
+// How the run's detection relates to the injected ground truth.
+enum class DetectionClass {
+  kNotApplicable = 0,  // no fault fired, or it never manifested
+  kPrompt,             // detected, kind agrees, within the class threshold
+  kDetectedLate,       // detected and kind agrees, but past the threshold
+  kMisdetected,        // a detector fired but disagrees with ground truth
+                       //   (wrong kind, or no detectable manifestation)
+  kSilent,             // the fault manifested but no detector ever fired
+};
+
+inline const char* DetectionClassName(DetectionClass c) {
+  switch (c) {
+    case DetectionClass::kNotApplicable: return "not_applicable";
+    case DetectionClass::kPrompt: return "prompt";
+    case DetectionClass::kDetectedLate: return "detected_late";
+    case DetectionClass::kMisdetected: return "misdetected";
+    case DetectionClass::kSilent: return "silent";
+  }
+  return "?";
+}
+
+// Detection-latency threshold separating "prompt" from "detected late",
+// per detector class: panics unwind to the entry point within the handler
+// (sub-millisecond), while the NMI watchdog needs its 3 x 100 ms
+// missed-increment window by design — so hangs are only "late" when they
+// exceed the watchdog's own design latency with margin.
+inline sim::Duration LateThresholdFor(hv::DetectionKind kind) {
+  return kind == hv::DetectionKind::kHang ? sim::Milliseconds(500)
+                                          : sim::Milliseconds(10);
+}
+
+// Whether a manifestation is supposed to trip a detector at all.
+inline bool ManifestationDetectable(inject::Manifestation m) {
+  return m == inject::Manifestation::kImmediatePanic ||
+         m == inject::Manifestation::kDelayedPanic ||
+         m == inject::Manifestation::kHang;
+}
+
+// Which detector class the ground truth predicts. Only meaningful when
+// ManifestationDetectable(m).
+inline hv::DetectionKind ExpectedDetectionKind(inject::Manifestation m) {
+  return m == inject::Manifestation::kHang ? hv::DetectionKind::kHang
+                                           : hv::DetectionKind::kPanic;
+}
+
+// Classifies one run. `latency` is injection→first-detection simulated
+// time (negative = unknown/not detected). A detection whose kind disagrees
+// with the predicted manifestation class is a misdetection even though
+// *something* fired — e.g. a delayed-panic fault whose corruption deadlocks
+// a CPU first, so the watchdog reports a hang the panic path never saw.
+inline DetectionClass ClassifyDetection(bool injection_fired,
+                                        inject::Manifestation manifestation,
+                                        bool detected,
+                                        hv::DetectionKind detected_kind,
+                                        sim::Duration latency) {
+  if (!injection_fired) {
+    // Nothing was injected (or the trigger never fired): any detection is
+    // the system accusing itself without cause.
+    return detected ? DetectionClass::kMisdetected
+                    : DetectionClass::kNotApplicable;
+  }
+  if (!detected) {
+    if (manifestation == inject::Manifestation::kNone) {
+      return DetectionClass::kNotApplicable;
+    }
+    return DetectionClass::kSilent;  // manifested (SDC or worse), undetected
+  }
+  if (!ManifestationDetectable(manifestation) ||
+      ExpectedDetectionKind(manifestation) != detected_kind) {
+    return DetectionClass::kMisdetected;
+  }
+  if (latency >= 0 && latency > LateThresholdFor(detected_kind)) {
+    return DetectionClass::kDetectedLate;
+  }
+  return DetectionClass::kPrompt;
+}
+
+}  // namespace nlh::forensics

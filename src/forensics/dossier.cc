@@ -1,0 +1,150 @@
+#include "forensics/dossier.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/target_system.h"
+#include "forensics/profiler.h"
+#include "hv/failure.h"
+#include "inject/corruption.h"
+#include "sim/json.h"
+
+namespace nlh::forensics {
+
+bool DossierWorthy(const core::RunResult& r) {
+  if (r.outcome == core::OutcomeClass::kSdc) return true;
+  if (r.detected && !r.success) return true;
+  return r.latent_corruption;
+}
+
+namespace {
+
+const char* Bool(bool b) { return b ? "true" : "false"; }
+
+std::string ConfigJson(const core::RunConfig& cfg) {
+  std::string out = "{";
+  out += "\"mechanism\":" + sim::JsonStr(core::MechanismName(cfg.mechanism));
+  out += ",\"setup\":" + sim::JsonStr(cfg.setup == core::Setup::k1AppVM
+                                          ? "1AppVM"
+                                          : "3AppVM");
+  out += ",\"fault\":" + sim::JsonStr(inject::FaultTypeName(cfg.fault));
+  out += ",\"inject\":" + std::string(Bool(cfg.inject));
+  out += ",\"audit\":" + std::string(Bool(cfg.audit));
+  out += ",\"seed\":" + std::to_string(cfg.seed);
+  out += ",\"num_cpus\":" + std::to_string(cfg.platform.num_cpus);
+  out += "}";
+  return out;
+}
+
+std::string ResultJson(const core::RunResult& r) {
+  std::string out = "{";
+  out += "\"outcome\":" + sim::JsonStr(core::OutcomeClassName(r.outcome));
+  out += ",\"detected\":" + std::string(Bool(r.detected));
+  out += ",\"recoveries\":" + std::to_string(r.recoveries);
+  out += ",\"success\":" + std::string(Bool(r.success));
+  out += ",\"no_vm_failures\":" + std::string(Bool(r.no_vm_failures));
+  out += ",\"failure_reason\":" +
+         sim::JsonStr(hv::FailureReasonName(r.failure_reason));
+  out += ",\"failure_detail\":" + sim::JsonStr(r.failure_detail);
+  out += ",\"system_dead\":" + std::string(Bool(r.system_dead));
+  out += ",\"death_reason\":" + sim::JsonStr(r.death_reason);
+  out += ",\"detection_class\":" +
+         sim::JsonStr(DetectionClassName(r.detection_class));
+  out += ",\"detection_latency_ms\":";
+  out += r.detection_latency >= 0
+             ? sim::JsonNum(sim::ToMillisF(r.detection_latency), 6)
+             : std::string("null");
+  out += ",\"audited\":" + std::string(Bool(r.audited));
+  out += ",\"audit_clean\":" + std::string(Bool(r.audit_clean));
+  out += ",\"latent_corruption\":" + std::string(Bool(r.latent_corruption));
+  out += ",\"vm3_attempted\":" + std::string(Bool(r.vm3_attempted));
+  out += ",\"vm3_ok\":" + std::string(Bool(r.vm3_ok));
+  out += ",\"vms\":[";
+  for (std::size_t i = 0; i < r.vms.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"name\":" + sim::JsonStr(r.vms[i].name) +
+           ",\"affected\":" + Bool(r.vms[i].affected) +
+           ",\"why\":" + sim::JsonStr(r.vms[i].why) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string InjectionJson(const core::RunResult& r) {
+  std::string out = "{";
+  out += "\"fired\":" + std::string(Bool(r.injection_fired));
+  out += ",\"fired_at_ns\":" + std::to_string(r.injected_at);
+  out += ",\"cpu\":" + std::to_string(r.injection_cpu);
+  out += ",\"manifestation\":" +
+         sim::JsonStr(inject::ManifestationName(r.manifestation));
+  out += ",\"corruptions\":[";
+  for (std::size_t i = 0; i < r.injection_corruptions.size(); ++i) {
+    if (i) out += ",";
+    out += sim::JsonStr(r.injection_corruptions[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string DetectionJson(const core::RunResult& r) {
+  if (!r.detected) return "null";
+  const hv::DetectionEvent& ev = r.detection;
+  return "{\"cpu\":" + std::to_string(ev.cpu) +
+         ",\"kind\":" + sim::JsonStr(hv::DetectionKindName(ev.kind)) +
+         ",\"code\":" + sim::JsonStr(hv::FailureCodeName(ev.code)) +
+         ",\"when_ns\":" + std::to_string(ev.when) +
+         ",\"detail\":" + sim::JsonStr(ev.detail) + "}";
+}
+
+}  // namespace
+
+ReplayArtifacts ReplayRun(const core::RunConfig& base_cfg, std::uint64_t run_id,
+                          const ReplayOptions& opts) {
+  core::RunConfig cfg = base_cfg;
+  cfg.seed = run_id;
+  if (opts.audit) cfg.audit = true;
+
+  core::TargetSystem sys(cfg);
+  sys.EnableTracing(opts.trace_capacity);
+  sys.EnableFlightRecorder(opts.recorder_capacity);
+  sys.platform().log().SetLevel(opts.log_level);
+
+  ReplayArtifacts art;
+  art.result = sys.Run();
+  art.trace_json = sys.hv().tracer().ToChromeJson();
+  art.profile = CollapsedStackProfile(sys.hv().tracer().Snapshot());
+
+  std::string out = "{";
+  out += "\"schema\":\"nlh-dossier-v1\"";
+  out += ",\"run_id\":" + std::to_string(run_id);
+  out += ",\"config\":" + ConfigJson(cfg);
+  out += ",\"result\":" + ResultJson(art.result);
+  out += ",\"injection\":" + InjectionJson(art.result);
+  out += ",\"detection\":" + DetectionJson(art.result);
+  out += ",\"audit_findings\":" + art.result.audit_report.ToJson();
+  out += ",\"recorder\":" + sys.hv().flight_recorder().ToJson();
+  out += ",\"trace\":" + art.trace_json;
+  out += "}";
+  art.dossier_json = std::move(out);
+  return art;
+}
+
+std::string WriteDossier(const core::RunConfig& base_cfg, std::uint64_t run_id,
+                         const std::string& dir, const ReplayOptions& opts) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "";
+
+  const ReplayArtifacts art = ReplayRun(base_cfg, run_id, opts);
+  const std::string path =
+      (std::filesystem::path(dir) / ("run_" + std::to_string(run_id) + ".json"))
+          .string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return "";
+  const std::size_t n = std::fwrite(art.dossier_json.data(), 1,
+                                    art.dossier_json.size(), f);
+  const bool ok = (n == art.dossier_json.size()) && (std::fclose(f) == 0);
+  return ok ? path : "";
+}
+
+}  // namespace nlh::forensics

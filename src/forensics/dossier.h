@@ -1,0 +1,57 @@
+// Failure dossiers: one self-contained JSON bundle per interesting run,
+// assembled by deterministically *replaying* the run with full telemetry on.
+//
+// Campaigns run with the flight recorder, tracer, and logger off for speed;
+// when a run fails (or recovers with latent corruption) the campaign tool
+// re-executes that exact run — same RunConfig, seed == run_id — with the
+// recorder and tracer enabled. Determinism of the simulator guarantees the
+// replay reproduces the original byte-for-byte, so the dossier captures the
+// true failing execution, not a statistical cousin.
+//
+// A dossier bundles everything the paper's failure analysis (Section VII-A)
+// needs to attribute one run: the injection ground truth, the detection
+// event with a machine-state snapshot at detection time, the last-N flight
+// recorder events per CPU leading up to it, the end-of-run audit findings,
+// and the full trace-span timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/config.h"
+#include "core/outcome.h"
+#include "sim/log.h"
+
+namespace nlh::forensics {
+
+// A run deserves a dossier when the behavioral or audit classification says
+// something went wrong: a detected run that did not fully recover, a
+// successful recovery carrying latent corruption, or silent data corruption.
+bool DossierWorthy(const core::RunResult& r);
+
+struct ReplayOptions {
+  std::size_t recorder_capacity = 256;   // per-CPU flight recorder ring
+  std::size_t trace_capacity = 4096;     // trace span ring
+  sim::LogLevel log_level = sim::LogLevel::kNone;  // stderr logging (replay CLI)
+  bool audit = true;  // force the state audit on so dossiers carry findings
+};
+
+struct ReplayArtifacts {
+  core::RunResult result;
+  std::string dossier_json;  // the full failure dossier (see dossier.cc)
+  std::string trace_json;    // Chrome trace_event JSON of the replay
+  std::string profile;       // collapsed-stack cost-attribution profile
+};
+
+// Deterministically re-executes run `run_id` of `base_cfg` (seed := run_id)
+// with the flight recorder + tracer enabled and assembles the artifacts.
+ReplayArtifacts ReplayRun(const core::RunConfig& base_cfg, std::uint64_t run_id,
+                          const ReplayOptions& opts = {});
+
+// Replays `run_id` and writes its dossier to `dir/run_<run_id>.json`,
+// creating `dir` if missing. Returns the written path, or "" on I/O failure.
+std::string WriteDossier(const core::RunConfig& base_cfg, std::uint64_t run_id,
+                         const std::string& dir, const ReplayOptions& opts = {});
+
+}  // namespace nlh::forensics

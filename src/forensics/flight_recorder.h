@@ -1,0 +1,173 @@
+// FlightRecorder: fixed-capacity per-CPU ring buffers of typed,
+// simulated-time-stamped events — the "black box" a FailureDossier reads
+// out after a failed run (ReHype's failure-class analysis reconstructs the
+// event sequence leading to the crash; this records it as it happens).
+//
+// Recording sites are woven through hw/, hv/, inject/, detect/ and
+// recovery/ behind the NLH_RECORD(...) macro (forensics/record.h), which
+// compiles out entirely under -DNLH_NO_FLIGHT_RECORDER (CMake option
+// NLH_FLIGHT_RECORDER=OFF). The recorder stamps simulated time itself via
+// an injected clock callback, so call-sites never need a time source.
+//
+// Hardware-layer components (SpinLock, ApicTimer, InterruptController)
+// have no back-pointer to the hypervisor that owns the recorder; instead a
+// thread-local "current recorder" pointer is installed by RecorderScope,
+// which the owning Hypervisor holds for its lifetime. This is safe because
+// the simulator is single-threaded within one run (campaigns parallelize
+// across runs, each worker thread constructing and destroying its own
+// TargetSystem, and therefore its own recorder, on that thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nlh::forensics {
+
+// Event taxonomy. Slugs (EventKindName) are stable identifiers used in
+// dossier JSON; extend at the end, never renumber.
+enum class EventKind : std::uint8_t {
+  kHypercallEnter = 0,
+  kHypercallExit,
+  kSyscallForward,
+  kVmExit,
+  kIrqRaise,       // vector became pending (IRR set)
+  kIrqDeliver,     // vector accepted for handling
+  kIrqAck,         // recovery AckAll swept a CPU's IRR/ISR
+  kIpi,            // inter-processor interrupt sent
+  kNmi,            // watchdog NMI sampled a CPU (arg0=count, arg1=misses)
+  kApicFire,       // one-shot APIC timer expired
+  kTimerFire,      // software timer popped from the heap
+  kSchedule,       // scheduling decision (arg0=prev+1, arg1=next+1; 0=none)
+  kSchedRepair,    // scheduler-metadata repair pass (arg0=fixes)
+  kLockAcquire,
+  kLockRelease,
+  kPanicRaised,    // HvPanic constructed (about to unwind)
+  kCpuHung,        // CPU marked hung (silent; watchdog must notice)
+  kInjectionFired,     // ground truth: the injected fault fired
+  kCorruptionApplied,  // ground truth: one corruption action (arg0=target)
+  kDetection,      // a detector reported an error (arg0=kind, arg1=code)
+  kRecoveryPhase,  // one recovery step completed (arg0=phase, arg1=ns)
+  kDeath,          // platform marked dead (arg0=FailureReason)
+  kDomainCreate,
+  kDomainDestroy,
+  kLogLine,        // sim::Logger line routed into the recorder (arg0=level)
+  kCount,
+};
+
+const char* EventKindName(EventKind k);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;   // global record order (monotonic across CPUs)
+  sim::Time at = 0;        // simulated time
+  EventKind kind = EventKind::kCount;
+  int cpu = -1;            // -1 = not CPU-local (global ring)
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  // Allocates one ring per CPU plus one "global" ring for events that are
+  // not CPU-local (cpu = -1). Re-enabling clears all rings.
+  void Enable(int num_cpus, std::size_t per_cpu_capacity = kDefaultCapacity);
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // Injected simulated-time source (the owning hypervisor's Now()).
+  void SetClock(std::function<sim::Time()> clock) { clock_ = std::move(clock); }
+
+  void Record(EventKind kind, int cpu, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0, std::string detail = {});
+
+  // Ring contents oldest-first. cpu = -1 returns the global ring; an
+  // out-of-range cpu returns empty.
+  std::vector<FlightEvent> SnapshotCpu(int cpu) const;
+
+  // Rare, high-value events (injection ground truth, detections, recovery
+  // steps, panics, domain lifecycle, death) are additionally copied to this
+  // pinned channel, which never wraps: hours of hot-path chatter cannot
+  // displace the handful of events a dossier is actually about. Bounded by
+  // kPinnedCapacity (overflow counted in pinned_dropped()).
+  static constexpr std::size_t kPinnedCapacity = 1024;
+  static bool IsPinnedKind(EventKind kind);
+  const std::vector<FlightEvent>& pinned() const { return pinned_; }
+  std::uint64_t pinned_dropped() const { return pinned_dropped_; }
+
+  int num_cpus() const { return num_cpus_; }
+  std::uint64_t recorded() const { return recorded_; }
+  // Events lost to ring overwrite, across all rings.
+  std::uint64_t dropped() const;
+
+  // Register/per-CPU state captured at the first detection of the run
+  // (pre-formatted JSON, assembled by Hypervisor::ReportError so the
+  // forensics layer stays independent of hw/hv headers). Empty until set;
+  // only the first capture sticks.
+  void SetDetectionSnapshot(std::string json);
+  bool has_detection_snapshot() const { return !detection_snapshot_.empty(); }
+  const std::string& detection_snapshot() const { return detection_snapshot_; }
+
+  // {"dropped":N,"pinned_dropped":N,"detection_snapshot":{...}|null,
+  //  "pinned":[...],"global":[...],"per_cpu":[[...],...]} — events as
+  // {"seq":..,"t_ns":..,"kind":"..","cpu":..,"arg0":..,"arg1":..,
+  //  "detail":".."}. All-integer timestamps keep the output byte-stable.
+  std::string ToJson() const;
+
+ private:
+  struct Ring {
+    std::vector<FlightEvent> slots;  // filled up to capacity, then wraps
+    std::size_t next = 0;            // oldest slot once wrapped
+    std::uint64_t count = 0;         // total events pushed
+  };
+
+  Ring& RingFor(int cpu);
+  static void AppendRingJson(std::string& out, const Ring& ring);
+  static std::vector<FlightEvent> RingSnapshot(const Ring& ring);
+
+  bool enabled_ = false;
+  int num_cpus_ = 0;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<Ring> rings_;  // [0..num_cpus) per-CPU, [num_cpus] global
+  std::vector<FlightEvent> pinned_;
+  std::uint64_t pinned_dropped_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t seq_ = 0;
+  std::function<sim::Time()> clock_;
+  std::string detection_snapshot_;
+};
+
+// --- Thread-local current recorder -----------------------------------------
+// Installed by the owning Hypervisor via RecorderScope; read by NLH_RECORD.
+inline thread_local FlightRecorder* t_current_recorder = nullptr;
+
+inline FlightRecorder* CurrentRecorder() { return t_current_recorder; }
+inline void SetCurrentRecorder(FlightRecorder* r) { t_current_recorder = r; }
+
+// RAII installer. Restores the previous recorder on destruction; tolerant
+// of non-LIFO destruction orders (it only uninstalls itself if it is still
+// the current one), so overlapping Hypervisor lifetimes in tests are safe.
+class RecorderScope {
+ public:
+  explicit RecorderScope(FlightRecorder* r)
+      : mine_(r), prev_(CurrentRecorder()) {
+    SetCurrentRecorder(r);
+  }
+  ~RecorderScope() {
+    if (CurrentRecorder() == mine_) SetCurrentRecorder(prev_);
+  }
+
+  RecorderScope(const RecorderScope&) = delete;
+  RecorderScope& operator=(const RecorderScope&) = delete;
+
+ private:
+  FlightRecorder* mine_;
+  FlightRecorder* prev_;
+};
+
+}  // namespace nlh::forensics

@@ -1,0 +1,71 @@
+#include "forensics/profiler.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace nlh::forensics {
+
+namespace {
+
+// Frame separators and whitespace would corrupt the collapsed format.
+std::string SanitizeFrame(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ';' || c == ' ' || c == '\n' || c == '\t') c = '_';
+  }
+  return out.empty() ? std::string("?") : out;
+}
+
+}  // namespace
+
+std::string CollapsedStackProfile(const std::vector<sim::TraceEvent>& spans) {
+  // Index spans by id for parent-chain walks, and accumulate each span's
+  // child coverage so self time = duration - children. Trace rings can
+  // drop parents (overwritten spans); a child whose parent is missing is
+  // treated as a root, and its time still counts toward its own frame.
+  std::unordered_map<std::uint32_t, const sim::TraceEvent*> by_id;
+  by_id.reserve(spans.size());
+  for (const sim::TraceEvent& ev : spans) by_id[ev.id] = &ev;
+
+  std::unordered_map<std::uint32_t, std::int64_t> child_time;
+  for (const sim::TraceEvent& ev : spans) {
+    if (ev.parent != 0 && by_id.count(ev.parent) != 0) {
+      child_time[ev.parent] += ev.end - ev.start;
+    }
+  }
+
+  std::map<std::string, std::uint64_t> weights;  // path -> self ns
+  for (const sim::TraceEvent& ev : spans) {
+    std::int64_t self = (ev.end - ev.start);
+    auto it = child_time.find(ev.id);
+    if (it != child_time.end()) self -= it->second;
+    if (self <= 0) continue;  // fully covered by children (or zero-width)
+
+    // Build root;...;self by walking the parent chain (bounded: a cycle
+    // could only arise from id reuse after ring wrap).
+    std::vector<const sim::TraceEvent*> chain{&ev};
+    const sim::TraceEvent* cur = &ev;
+    for (int depth = 0; depth < 64; ++depth) {
+      if (cur->parent == 0) break;
+      auto pit = by_id.find(cur->parent);
+      if (pit == by_id.end()) break;
+      cur = pit->second;
+      chain.push_back(cur);
+    }
+    std::string path;
+    for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+      if (!path.empty()) path += ";";
+      path += SanitizeFrame((*rit)->name);
+    }
+    weights[path] += static_cast<std::uint64_t>(self);
+  }
+
+  std::string out;
+  for (const auto& [path, ns] : weights) {
+    out += path + " " + std::to_string(ns) + "\n";
+  }
+  return out;
+}
+
+}  // namespace nlh::forensics

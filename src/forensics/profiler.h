@@ -1,0 +1,22 @@
+// Cost-attribution profiler: folds the modeled-instruction-cost trace
+// spans (sim/trace.h) into a collapsed-stack profile compatible with
+// flamegraph.pl / inferno-flamegraph:
+//
+//   root;child;leaf <self_time_ns>
+//
+// one line per unique span path, weight = the span's SELF time in
+// simulated nanoseconds (duration minus the time covered by its child
+// spans), lines sorted lexicographically so the output is byte-stable.
+// Render with e.g. `flamegraph.pl --countname ns profile.txt > prof.svg`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace nlh::forensics {
+
+std::string CollapsedStackProfile(const std::vector<sim::TraceEvent>& spans);
+
+}  // namespace nlh::forensics

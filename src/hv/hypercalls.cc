@@ -8,6 +8,7 @@
 // domctl family and physdev_op deliberately lack coverage ("there are
 // likely to be several infrequently-used non-idempotent hypercall handlers
 // that we have not properly enhanced").
+#include "forensics/record.h"
 #include "hv/hypervisor.h"
 #include "hv/panic.h"
 
@@ -509,6 +510,8 @@ std::uint64_t Hypervisor::DoDomctlCreate(OpContext& ctx, Vcpu& vc,
   ctx.Step(cost::kDomctlCreate / 4, "create-vcpus");
   ctx.Step(cost::kDomctlCreate / 4, "create-link");
   ctx.Unlock(domlist_lock_);
+  NLH_RECORD(forensics::EventKind::kDomainCreate, -1,
+             static_cast<std::uint64_t>(id), nframes);
   return static_cast<std::uint64_t>(id);
 }
 
@@ -521,6 +524,8 @@ std::uint64_t Hypervisor::DoDomctlDestroy(OpContext& ctx, Vcpu& vc,
   DestroyDomainInternal(ctx, target);
   ctx.Step(cost::kDomctlDestroy / 2, "destroy-free");
   ctx.Unlock(domlist_lock_);
+  NLH_RECORD(forensics::EventKind::kDomainDestroy, -1,
+             static_cast<std::uint64_t>(target));
   return 0;
 }
 

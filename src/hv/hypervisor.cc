@@ -3,12 +3,68 @@
 #include <algorithm>
 #include <limits>
 
+#include "forensics/record.h"
 #include "hv/panic.h"
+#include "sim/json.h"
 
 namespace nlh::hv {
 
 namespace {
+
 constexpr EventPort kVirqTimerPort = 0;  // bit 0 of the pending bitmap
+
+// Machine-state snapshot taken at the moment of first detection, rendered
+// straight to JSON so the forensics layer stays independent of hw/hv
+// headers: registers of the detecting CPU plus every CPU's hypervisor-side
+// state. Capture must be cheap and exception-free — it runs inside
+// ReportError before recovery touches anything.
+std::string DetectionSnapshotJson(Hypervisor& hv, const DetectionEvent& ev) {
+  auto hex = [](std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"0x%llx\"",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+  std::string out = "{\"cpu\":" + std::to_string(ev.cpu) +
+                    ",\"kind\":" + sim::JsonStr(DetectionKindName(ev.kind)) +
+                    ",\"code\":" + sim::JsonStr(FailureCodeName(ev.code)) +
+                    ",\"detail\":" + sim::JsonStr(ev.detail);
+  const int ncpus = hv.platform().num_cpus();
+  if (ev.cpu >= 0 && ev.cpu < ncpus) {
+    const hw::RegisterFile& rf = hv.platform().cpu(ev.cpu).regs();
+    out += ",\"regs\":{";
+    const auto snap = rf.Snapshot();
+    for (int r = 0; r < hw::kNumRegs; ++r) {
+      if (r != 0) out += ",";
+      out += sim::JsonStr(std::string(RegName(static_cast<hw::Reg>(r)))) +
+             ":" + hex(snap[static_cast<std::size_t>(r)]);
+    }
+    out += ",\"fs_base\":" + hex(rf.fs_base) +
+           ",\"gs_base\":" + hex(rf.gs_base) + "}";
+  }
+  out += ",\"per_cpu\":[";
+  for (int c = 0; c < ncpus; ++c) {
+    const hw::Cpu& cp = hv.platform().cpu(c);
+    const PerCpuData& pc = hv.percpu(c);
+    if (c != 0) out += ",";
+    out += "{\"cpu\":" + std::to_string(c) +
+           ",\"local_irq_count\":" + std::to_string(pc.local_irq_count) +
+           ",\"curr\":" + std::to_string(pc.curr) +
+           ",\"rq_len\":" + std::to_string(pc.rq_len) +
+           ",\"watchdog_soft_count\":" +
+           std::to_string(pc.watchdog_soft_count) +
+           ",\"sched_lock_held\":" + (pc.sched_lock.held() ? "true" : "false") +
+           ",\"stack_frames\":" + std::to_string(cp.hv_stack().frames) +
+           ",\"stack_top\":" + hex(cp.hv_stack().top) +
+           ",\"interrupts_enabled\":" +
+           (cp.interrupts_enabled() ? "true" : "false") +
+           ",\"halted\":" + (cp.halted() ? "true" : "false") +
+           ",\"hung\":" + (cp.hung() ? "true" : "false") + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 // Traces a scope whose simulated duration is the instruction cost an
@@ -56,6 +112,7 @@ Hypervisor::Hypervisor(hw::Platform& platform, const HvConfig& config)
   c_events_sent_ = &metrics_.GetCounter("hv.events_sent");
   c_detections_ = &metrics_.GetCounter("hv.detections");
   c_recoveries_ = &metrics_.GetCounter("hv.recoveries");
+  recorder_.SetClock([this] { return Now(); });
 }
 
 HvStats Hypervisor::stats() const {
@@ -437,6 +494,8 @@ sim::Duration Hypervisor::HandleOneInterrupt(hw::CpuId cpu) {
   hw::Cpu& c = platform_.cpu(cpu);
   PerCpuData& pc = percpu_[static_cast<std::size_t>(cpu)];
   c_interrupts_->Inc();
+  NLH_RECORD(forensics::EventKind::kIrqDeliver, cpu,
+             static_cast<std::uint64_t>(v));
 
   OpContext ctx(platform_, c, config_.runtime, HvContextKind::kIrq, nullptr,
                 nullptr);
@@ -575,6 +634,10 @@ VcpuId Hypervisor::Schedule(OpContext& ctx, hw::CpuId cpu) {
   nv.running_on = cpu;
   nv.is_current = true;
   ctx.Unlock(pc.sched_lock);
+  // +1 so vCPU 0 is distinguishable from "none" in the unsigned args.
+  NLH_RECORD(forensics::EventKind::kSchedule, cpu,
+             static_cast<std::uint64_t>(prev + 1),
+             static_cast<std::uint64_t>(next + 1));
   return next;
 }
 
@@ -647,11 +710,16 @@ std::uint64_t Hypervisor::Hypercall(VcpuId v, HypercallCode code,
                 &vc.inflight.undo);
   CtxSpan span(*this, ctx, "hypercall:" + std::string(HypercallName(code)),
                cpu);
+  NLH_RECORD(forensics::EventKind::kHypercallEnter, cpu,
+             static_cast<std::uint64_t>(code), static_cast<std::uint64_t>(v),
+             std::string(HypercallName(code)));
   ctx.Step(cost::kHypercallEntry, "hypercall-entry");
   const std::uint64_t ret = Dispatch(ctx, vc, code, args);
   vc.inflight.undo.Clear();
   vc.inflight.active = false;  // commit point
   ctx.Step(cost::kHypercallExit, "hypercall-exit");
+  NLH_RECORD(forensics::EventKind::kHypercallExit, cpu,
+             static_cast<std::uint64_t>(code), ret);
   ChargeSlice(cpu, ctx.instructions());
   return ret;
 }
@@ -671,6 +739,8 @@ void Hypervisor::ForwardedSyscall(VcpuId v, std::uint64_t sysno) {
   vc.inflight.lost = false;
   vc.inflight.undo.Clear();
 
+  NLH_RECORD(forensics::EventKind::kSyscallForward, cpu, sysno,
+             static_cast<std::uint64_t>(v));
   OpContext ctx(platform_, c, config_.runtime, HvContextKind::kSyscallForward,
                 &vc, nullptr);
   ctx.Step(cost::kSyscallForward / 2, "syscall-lookup");
@@ -696,6 +766,8 @@ std::uint64_t Hypervisor::VmExit(VcpuId v, VmExitReason reason,
   vc.inflight.lost = false;
   vc.inflight.undo.Clear();
 
+  NLH_RECORD(forensics::EventKind::kVmExit, cpu,
+             static_cast<std::uint64_t>(reason), arg);
   OpContext ctx(platform_, c, config_.runtime, HvContextKind::kHypercall, &vc,
                 &vc.inflight.undo);
   ctx.Step(cost::kIrqEntry, "vmexit-entry");  // VMEXIT world switch
@@ -769,6 +841,21 @@ void Hypervisor::ReportError(DetectionEvent event) {
   if (event.when == 0) event.when = Now();
   tracer_.Instant(std::string("detect:") + DetectionKindName(event.kind),
                   event.cpu, event.when);
+  if (!has_first_detection_) {
+    first_detection_ = event;
+    has_first_detection_ = true;
+  }
+  NLH_RECORD(forensics::EventKind::kDetection, event.cpu,
+             static_cast<std::uint64_t>(event.kind),
+             static_cast<std::uint64_t>(event.code), event.detail);
+  // Freeze the machine state in the dossier before recovery mutates it
+  // (only the first capture sticks).
+  if (recorder_.enabled() && !recorder_.has_detection_snapshot()) {
+    recorder_.SetDetectionSnapshot(DetectionSnapshotJson(*this, event));
+  }
+  platform_.log().Log(sim::LogLevel::kError, event.when, "detect",
+                      std::string(DetectionKindName(event.kind)) + " on cpu" +
+                          std::to_string(event.cpu) + ": " + event.detail);
   if (dead_) return;
   if (in_error_report_) {
     MarkDead(FailureReason::kNestedError,
@@ -806,6 +893,10 @@ void Hypervisor::MarkDead(FailureReason reason, const std::string& detail) {
                       : std::string(FailureReasonName(reason)) + ": " + detail;
   metrics_.GetCounter(std::string("hv.dead.") + FailureReasonName(reason))
       .Inc();
+  NLH_RECORD(forensics::EventKind::kDeath, -1,
+             static_cast<std::uint64_t>(reason), 0, death_reason_);
+  platform_.log().Log(sim::LogLevel::kError, Now(), "hv",
+                      "system dead: " + death_reason_);
 }
 
 void Hypervisor::OnNmi(hw::CpuId cpu) {
@@ -817,6 +908,10 @@ void Hypervisor::FreezeForRecovery(hw::CpuId detector) {
   ++recovery_attempts_;
   c_recoveries_->Inc();
   tracer_.Instant("hv.freeze_for_recovery", detector, Now());
+  platform_.log().Log(sim::LogLevel::kInfo, Now(), "recover",
+                      "freezing all CPUs (detector cpu" +
+                          std::to_string(detector) + ", attempt " +
+                          std::to_string(recovery_attempts_) + ")");
   frozen_ = true;
   for (int c = 0; c < platform_.num_cpus(); ++c) {
     hw::Cpu& cp = platform_.cpu(c);
@@ -842,6 +937,7 @@ void Hypervisor::DiscardAllHvStacks() {
 void Hypervisor::AckAllInterrupts() {
   tracer_.Instant("hv.ack_all_interrupts", 0, Now());
   for (int c = 0; c < platform_.num_cpus(); ++c) {
+    NLH_RECORD(forensics::EventKind::kIrqAck, c);
     platform_.intc().AckAll(c);
   }
 }

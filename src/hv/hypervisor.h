@@ -30,6 +30,7 @@
 #include "hv/types.h"
 #include "hv/vcpu.h"
 #include "hw/platform.h"
+#include "forensics/flight_recorder.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
 
@@ -200,10 +201,19 @@ class Hypervisor {
   // Snapshot of the core counters (see the metrics registry for the full,
   // extensible set).
   HvStats stats() const;
-  // Observability: span tracer + metrics registry for this host.
+  // Observability: span tracer + metrics registry + flight recorder for
+  // this host.
   sim::Tracer& tracer() { return tracer_; }
   sim::MetricsRegistry& metrics() { return metrics_; }
   const sim::MetricsRegistry& metrics() const { return metrics_; }
+  forensics::FlightRecorder& flight_recorder() { return recorder_; }
+  const forensics::FlightRecorder& flight_recorder() const { return recorder_; }
+  // First DetectionEvent this host ever reported (survives recovery and
+  // later detections; the correlator joins it against injection ground
+  // truth). nullptr until a detection happens.
+  const DetectionEvent* first_detection() const {
+    return has_first_detection_ ? &first_detection_ : nullptr;
+  }
   std::map<hw::Vector, DeviceBinding>& device_bindings() {
     return device_bindings_;
   }
@@ -318,9 +328,14 @@ class Hypervisor {
   std::function<void(hw::CpuId)> nmi_hook_;
 
   // Observability. Counter pointers are cached once in the constructor so
-  // hot paths bump them without a registry lookup.
+  // hot paths bump them without a registry lookup. The RecorderScope
+  // installs this host's flight recorder as the thread-local current one
+  // for the lifetime of the Hypervisor (runs are single-threaded; campaigns
+  // use one Hypervisor per worker thread).
   sim::Tracer tracer_;
   sim::MetricsRegistry metrics_;
+  forensics::FlightRecorder recorder_;
+  forensics::RecorderScope recorder_scope_{&recorder_};
   sim::Counter* c_hypercalls_ = nullptr;
   sim::Counter* c_syscall_forwards_ = nullptr;
   sim::Counter* c_interrupts_ = nullptr;
@@ -341,6 +356,8 @@ class Hypervisor {
   int recovery_attempts_ = 0;
   int max_recovery_attempts_ = 3;
   bool in_error_report_ = false;
+  DetectionEvent first_detection_;
+  bool has_first_detection_ = false;
 
   // Cost accumulated by reentrant hypercall execution during a guest slice.
   std::vector<std::uint64_t> slice_instructions_;

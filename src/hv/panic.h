@@ -16,16 +16,24 @@
 #include <stdexcept>
 #include <string>
 
+#include "forensics/record.h"
+
 namespace nlh::hv {
 
 class HvPanic : public std::runtime_error {
  public:
-  explicit HvPanic(const std::string& what) : std::runtime_error(what) {}
+  explicit HvPanic(const std::string& what) : std::runtime_error(what) {
+    // The raising CPU is not known here; the entry-path catch that turns
+    // this into a DetectionEvent records the CPU-attributed kDetection.
+    NLH_RECORD(forensics::EventKind::kPanicRaised, -1, 0, 0, what);
+  }
 };
 
 class HvHang : public std::runtime_error {
  public:
-  explicit HvHang(const std::string& what) : std::runtime_error(what) {}
+  explicit HvHang(const std::string& what) : std::runtime_error(what) {
+    NLH_RECORD(forensics::EventKind::kPanicRaised, -1, 1, 0, what);
+  }
 };
 
 // Xen-style assertion: throws HvPanic (i.e. the panic detector fires).

@@ -1,5 +1,6 @@
 #include "hv/sched_ops.h"
 
+#include "forensics/record.h"
 #include "hv/panic.h"
 
 namespace nlh::hv {
@@ -190,6 +191,8 @@ int RepairSchedMetadata(PerCpuList& pcpus,
                      vc.id);
     }
   }
+  NLH_RECORD(forensics::EventKind::kSchedRepair, -1,
+             static_cast<std::uint64_t>(repaired));
   return repaired;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "forensics/record.h"
 #include "hv/panic.h"
 #include "hw/cpu.h"
 
@@ -35,12 +36,14 @@ class SpinLock {
       throw HvHang("deadlock on lock '" + name_ + "' held by CPU" +
                    std::to_string(holder_));
     }
+    NLH_RECORD(forensics::EventKind::kLockAcquire, cpu, 0, 0, name_);
     holder_ = cpu;
     ++acquisitions_;
   }
 
   void Release(hw::CpuId cpu) {
     HvAssert(holder_ == cpu, "releasing lock not held by this CPU");
+    NLH_RECORD(forensics::EventKind::kLockRelease, cpu, 0, 0, name_);
     holder_ = kUnheld;
   }
 

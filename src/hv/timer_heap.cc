@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "forensics/record.h"
+
 namespace nlh::hv {
 
 TimerId TimerHeap::Insert(SoftTimer timer) {
@@ -61,6 +63,8 @@ bool TimerHeap::PopExpired(sim::Time now, SoftTimer* out) {
   HvAssert(top.deadline >= 0, "timer heap entry has corrupt deadline");
   if (top.deadline > now) return false;
   *out = entries_.front();
+  NLH_RECORD(forensics::EventKind::kTimerFire, cpu_,
+             static_cast<std::uint64_t>(out->deadline), 0, out->name);
   entries_.front() = std::move(entries_.back());
   entries_.pop_back();
   if (!entries_.empty()) SiftDown(0);

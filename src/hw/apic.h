@@ -10,6 +10,7 @@
 
 #include <functional>
 
+#include "forensics/record.h"
 #include "hw/cpu.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -50,6 +51,8 @@ class ApicTimer {
 
  private:
   void Fire() {
+    NLH_RECORD(forensics::EventKind::kApicFire, cpu_,
+               static_cast<std::uint64_t>(deadline_));
     pending_ = sim::kInvalidEvent;
     armed_ = false;  // one-shot: silent until reprogrammed
     ++fire_count_;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "forensics/record.h"
 #include "hw/registers.h"
 #include "sim/time.h"
 
@@ -58,7 +59,10 @@ class Cpu {
   bool halted() const { return halted_; }
   void set_halted(bool h) { halted_ = h; }
   bool hung() const { return hung_; }
-  void set_hung(bool h) { hung_ = h; }
+  void set_hung(bool h) {
+    if (h && !hung_) NLH_RECORD(forensics::EventKind::kCpuHung, id_);
+    hung_ = h;
+  }
 
   bool online() const { return online_; }
   void set_online(bool o) { online_ = o; }

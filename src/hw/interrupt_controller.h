@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "forensics/record.h"
 #include "hw/cpu.h"
 
 namespace nlh::hw {
@@ -45,6 +46,8 @@ class InterruptController {
   }
 
   void Raise(CpuId cpu, Vector v) {
+    NLH_RECORD(forensics::EventKind::kIrqRaise, cpu,
+               static_cast<std::uint64_t>(v));
     percpu_[cpu].irr.set(static_cast<std::size_t>(v));
     if (wake_) wake_(cpu);
   }

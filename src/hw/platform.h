@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "forensics/record.h"
 #include "hw/apic.h"
 #include "hw/cpu.h"
 #include "hw/interrupt_controller.h"
@@ -78,7 +79,11 @@ class Platform {
   }
 
   // Sends an inter-processor interrupt.
-  void SendIpi(CpuId target, Vector v) { intc_.Raise(target, v); }
+  void SendIpi(CpuId target, Vector v) {
+    NLH_RECORD(forensics::EventKind::kIpi, target,
+               static_cast<std::uint64_t>(v));
+    intc_.Raise(target, v);
+  }
 
  private:
   PlatformConfig config_;

@@ -43,6 +43,17 @@ enum class Manifestation {
   kHang,           // livelock (only the NMI watchdog can catch it)
 };
 
+inline const char* ManifestationName(Manifestation m) {
+  switch (m) {
+    case Manifestation::kNone: return "none";
+    case Manifestation::kSdc: return "sdc";
+    case Manifestation::kImmediatePanic: return "immediate_panic";
+    case Manifestation::kDelayedPanic: return "delayed_panic";
+    case Manifestation::kHang: return "hang";
+  }
+  return "?";
+}
+
 // What state a corrupting fault damages (real mutations; see
 // FaultInjector::ApplyCorruption).
 enum class CorruptionTarget {
@@ -58,6 +69,23 @@ enum class CorruptionTarget {
   kGuestMemory,      // AppVM page (affects one VM only)
   kCount,
 };
+
+inline const char* CorruptionTargetName(CorruptionTarget t) {
+  switch (t) {
+    case CorruptionTarget::kFrameDescriptor: return "frame_descriptor";
+    case CorruptionTarget::kSchedMetadata: return "sched_metadata";
+    case CorruptionTarget::kStaticVar: return "static_var";
+    case CorruptionTarget::kHeapFreeList: return "heap_free_list";
+    case CorruptionTarget::kTimerHeapEntry: return "timer_heap_entry";
+    case CorruptionTarget::kVcpuStruct: return "vcpu_struct";
+    case CorruptionTarget::kDomainStruct: return "domain_struct";
+    case CorruptionTarget::kPrivVmState: return "priv_vm_state";
+    case CorruptionTarget::kRecoveryPath: return "recovery_path";
+    case CorruptionTarget::kGuestMemory: return "guest_memory";
+    case CorruptionTarget::kCount: break;
+  }
+  return "?";
+}
 
 struct OutcomeMix {
   double p_nonmanifested;

@@ -1,5 +1,6 @@
 #include "inject/injector.h"
 
+#include "forensics/record.h"
 #include "hv/panic.h"
 
 namespace nlh::inject {
@@ -48,6 +49,13 @@ void FaultInjector::Fire(hw::Cpu& cpu) {
   record_.fired = true;
   record_.fired_at = hv_.Now();
   record_.cpu = cpu.id();
+  NLH_RECORD(forensics::EventKind::kInjectionFired, cpu.id(),
+             static_cast<std::uint64_t>(plan_.type), 0,
+             std::string(FaultTypeName(plan_.type)));
+  hv_.platform().log().Log(
+      sim::LogLevel::kDebug, hv_.Now(), "inject",
+      std::string(FaultTypeName(plan_.type)) + " fault fired on cpu" +
+          std::to_string(cpu.id()));
 
   const OutcomeMix mix = MixFor(plan_.type);
   const double roll = rng_.Uniform();
@@ -121,6 +129,9 @@ CorruptionTarget FaultInjector::PickTarget() {
 
 void FaultInjector::ApplyCorruption(CorruptionTarget target) {
   record_.corruptions.push_back(target);
+  NLH_RECORD(forensics::EventKind::kCorruptionApplied, -1,
+             static_cast<std::uint64_t>(target), 0,
+             std::string(CorruptionTargetName(target)));
   ApplyCorruptionTo(hv_, target, rng_, hooks_);
 }
 

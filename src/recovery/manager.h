@@ -33,6 +33,13 @@ class RecoveryManager {
       return;
     }
     RecoveryReport report = mech_->Recover(ev);
+    hv_.platform().log().Log(
+        sim::LogLevel::kInfo, hv_.Now(), "recover",
+        mech_->Name() + (report.gave_up ? " gave up: " + report.give_up_reason
+                                        : " completed in " +
+                                              std::to_string(sim::ToMillisF(
+                                                  report.total())) +
+                                              "ms"));
     if (!report.gave_up && hang_detector_ != nullptr) {
       // Reset the watchdog history when the system resumes so the frozen
       // interval is not mistaken for a hang.

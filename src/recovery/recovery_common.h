@@ -133,6 +133,9 @@ class StepRecorder {
     hv_.metrics()
         .GetHistogram(std::string("recovery.phase_ms.") + slug)
         .Observe(sim::ToMillisF(latency));
+    NLH_RECORD(forensics::EventKind::kRecoveryPhase, cpu_,
+               static_cast<std::uint64_t>(phase),
+               static_cast<std::uint64_t>(latency), std::string(slug));
     report_.steps.push_back({phase, std::move(name), latency});
     cursor_ += latency;
   }

@@ -58,15 +58,21 @@ class Histogram {
   double Mean() const {
     return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
   }
-  // Nearest-rank quantile over the retained samples (q in [0,1]).
+  // Exact quantile over the retained samples with linear interpolation
+  // between closest ranks (the "exclusive" definition used by numpy's
+  // default percentile): rank = q*(n-1), result = s[lo] + frac*(s[lo+1]-
+  // s[lo]). q <= 0 yields the minimum sample, q >= 1 the maximum.
   double Quantile(double q) const {
     if (samples_.empty()) return 0;
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
+    if (q <= 0) return sorted.front();
+    if (q >= 1) return sorted.back();
     const double rank = q * static_cast<double>(sorted.size() - 1);
-    std::size_t i = static_cast<std::size_t>(rank + 0.5);
-    if (i >= sorted.size()) i = sorted.size() - 1;
-    return sorted[i];
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
   }
 
  private:

@@ -1,0 +1,486 @@
+// Forensics battery: flight recorder rings + NLH_RECORD weave, the JSON
+// parser and round-trips of every emitted artifact, the root-cause
+// correlator, the cost-attribution profiler, dossier emission, and the
+// byte-identical determinism of forensic replays.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/target_system.h"
+#include "forensics/correlator.h"
+#include "forensics/dossier.h"
+#include "forensics/flight_recorder.h"
+#include "forensics/profiler.h"
+#include "forensics/record.h"
+#include "hv/hypervisor.h"
+#include "sim/json.h"
+#include "sim/log.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+
+using namespace nlh;
+
+namespace {
+
+// --- FlightRecorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RecordsPerCpuAndGlobalRings) {
+  forensics::FlightRecorder rec;
+  sim::Time now = 100;
+  rec.SetClock([&now] { return now; });
+  rec.Enable(2, 8);
+
+  rec.Record(forensics::EventKind::kIrqRaise, 0, 0x20);
+  now = 200;
+  rec.Record(forensics::EventKind::kIrqRaise, 1, 0x21);
+  rec.Record(forensics::EventKind::kDeath, -1, 7, 0, "gone");
+
+  const auto cpu0 = rec.SnapshotCpu(0);
+  ASSERT_EQ(cpu0.size(), 1u);
+  EXPECT_EQ(cpu0[0].at, 100);
+  EXPECT_EQ(cpu0[0].arg0, 0x20u);
+  EXPECT_EQ(cpu0[0].kind, forensics::EventKind::kIrqRaise);
+
+  const auto global = rec.SnapshotCpu(-1);
+  ASSERT_EQ(global.size(), 1u);
+  EXPECT_EQ(global[0].detail, "gone");
+
+  // Sequence numbers are global across rings.
+  EXPECT_LT(cpu0[0].seq, rec.SnapshotCpu(1)[0].seq);
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.SnapshotCpu(5).empty());  // out of range
+}
+
+TEST(FlightRecorder, RingWrapsKeepingNewestEvents) {
+  forensics::FlightRecorder rec;
+  rec.Enable(1, 4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.Record(forensics::EventKind::kSchedule, 0, i);
+  }
+  const auto events = rec.SnapshotCpu(0);
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, only the newest four survive.
+  EXPECT_EQ(events.front().arg0, 6u);
+  EXPECT_EQ(events.back().arg0, 9u);
+  EXPECT_EQ(rec.dropped(), 6u);
+}
+
+TEST(FlightRecorder, DetectionSnapshotFirstCaptureSticks) {
+  forensics::FlightRecorder rec;
+  rec.Enable(1);
+  EXPECT_FALSE(rec.has_detection_snapshot());
+  rec.SetDetectionSnapshot("{\"a\":1}");
+  rec.SetDetectionSnapshot("{\"b\":2}");
+  EXPECT_EQ(rec.detection_snapshot(), "{\"a\":1}");
+}
+
+TEST(FlightRecorder, ToJsonParsesAndCarriesStructure) {
+  forensics::FlightRecorder rec;
+  rec.Enable(2, 4);
+  rec.Record(forensics::EventKind::kHypercallEnter, 0, 3, 0, "mmu_update");
+  rec.Record(forensics::EventKind::kDetection, -1, 1, 2, "watchdog");
+  rec.SetDetectionSnapshot("{\"regs\":{}}");
+
+  sim::JsonValue doc;
+  ASSERT_TRUE(sim::ParseJson(rec.ToJson(), &doc));
+  ASSERT_TRUE(doc.IsObject());
+  EXPECT_EQ(doc.Find("dropped")->number, 0.0);
+  EXPECT_TRUE(doc.Find("detection_snapshot")->IsObject());
+  // kDetection is a pinned kind: it appears in the pinned channel too.
+  ASSERT_EQ(doc.Find("pinned")->items.size(), 1u);
+  EXPECT_EQ(doc.Find("pinned")->items[0].Find("kind")->str, "detection");
+  ASSERT_TRUE(doc.Find("per_cpu")->IsArray());
+  EXPECT_EQ(doc.Find("per_cpu")->items.size(), 2u);
+  const sim::JsonValue& ev = doc.Find("per_cpu")->items[0].items.at(0);
+  EXPECT_EQ(ev.Find("kind")->str, "hypercall_enter");
+  EXPECT_EQ(ev.Find("detail")->str, "mmu_update");
+  ASSERT_EQ(doc.Find("global")->items.size(), 1u);
+  EXPECT_EQ(doc.Find("global")->items[0].Find("kind")->str, "detection");
+}
+
+TEST(FlightRecorder, MacroRespectsCurrentRecorderAndEnableState) {
+  // No recorder installed anywhere: must be a no-op, not a crash.
+  forensics::SetCurrentRecorder(nullptr);
+  NLH_RECORD(forensics::EventKind::kIpi, 0, 1);
+
+  forensics::FlightRecorder rec;
+  forensics::RecorderScope scope(&rec);
+  // Installed but disabled: args must not be recorded.
+  NLH_RECORD(forensics::EventKind::kIpi, 0, 1);
+  EXPECT_EQ(rec.recorded(), 0u);
+
+  rec.Enable(1);
+  NLH_RECORD(forensics::EventKind::kIpi, 0, 1, 2, "zap");
+  NLH_RECORD(forensics::EventKind::kIpi, 0);  // zero-arg variant compiles
+#ifdef NLH_NO_FLIGHT_RECORDER
+  EXPECT_EQ(rec.recorded(), 0u);
+#else
+  ASSERT_EQ(rec.recorded(), 2u);
+  EXPECT_EQ(rec.SnapshotCpu(0)[0].detail, "zap");
+#endif
+}
+
+TEST(FlightRecorder, ScopeToleratesNonLifoDestruction) {
+  forensics::FlightRecorder a;
+  forensics::FlightRecorder b;
+  auto sa = std::make_unique<forensics::RecorderScope>(&a);
+  auto sb = std::make_unique<forensics::RecorderScope>(&b);
+  EXPECT_EQ(forensics::CurrentRecorder(), &b);
+  sa.reset();  // destroyed out of order: b stays current
+  EXPECT_EQ(forensics::CurrentRecorder(), &b);
+  sb.reset();
+  EXPECT_EQ(forensics::CurrentRecorder(), &a);
+  forensics::SetCurrentRecorder(nullptr);
+}
+
+// --- NLH_RECORD weave (hypervisor hot paths) -------------------------------
+
+TEST(FlightRecorderWeave, HypercallAndScheduleEventsAppear) {
+  hw::PlatformConfig pcfg;
+  pcfg.num_cpus = 2;
+  pcfg.memory_gib = 1;
+  hw::Platform platform(pcfg, 1);
+  hv::Hypervisor hv(platform, hv::HvConfig{});
+  hv.Boot();
+  const hv::DomainId dom = hv.CreateDomainDirect("d", false, 1, 32);
+  hv.StartDomain(dom);
+  const hv::VcpuId vcpu = hv.FindDomain(dom)->vcpus.front();
+
+  hv.flight_recorder().Enable(platform.num_cpus());
+  hv::HypercallArgs args;
+  args.arg0 = 5;
+  args.arg1 = 1;
+  hv.Hypercall(vcpu, hv::HypercallCode::kMmuUpdate, args);
+
+  std::set<forensics::EventKind> kinds;
+  for (int cpu = -1; cpu < platform.num_cpus(); ++cpu) {
+    for (const forensics::FlightEvent& ev :
+         hv.flight_recorder().SnapshotCpu(cpu)) {
+      kinds.insert(ev.kind);
+    }
+  }
+#ifdef NLH_NO_FLIGHT_RECORDER
+  EXPECT_TRUE(kinds.empty());
+#else
+  EXPECT_TRUE(kinds.count(forensics::EventKind::kHypercallEnter));
+  EXPECT_TRUE(kinds.count(forensics::EventKind::kHypercallExit));
+  EXPECT_TRUE(kinds.count(forensics::EventKind::kLockAcquire));
+  EXPECT_TRUE(kinds.count(forensics::EventKind::kLockRelease));
+#endif
+}
+
+#ifndef NLH_NO_FLIGHT_RECORDER
+TEST(FlightRecorderWeave, DetectedRunCapturesInjectionAndDetection) {
+  core::RunConfig cfg = core::RunConfig::OneAppVm(guest::BenchmarkKind::kUnixBench);
+  cfg.fault = inject::FaultType::kFailstop;
+  // Find a detected run (failstop faults mostly manifest as panics).
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    cfg.seed = seed;
+    core::TargetSystem sys(cfg);
+    sys.EnableFlightRecorder();
+    const core::RunResult r = sys.Run();
+    if (!r.detected) continue;
+
+    EXPECT_TRUE(r.injection_fired);
+    EXPECT_GE(r.detection_latency, 0);
+    EXPECT_NE(r.detection_class, forensics::DetectionClass::kNotApplicable);
+    EXPECT_NE(r.detection_class, forensics::DetectionClass::kSilent);
+
+    const forensics::FlightRecorder& rec = sys.hv().flight_recorder();
+    EXPECT_TRUE(rec.has_detection_snapshot());
+    sim::JsonValue snap;
+    ASSERT_TRUE(sim::ParseJson(rec.detection_snapshot(), &snap));
+    EXPECT_TRUE(snap.Find("per_cpu")->IsArray());
+
+    // The forensic ground truth lives in the pinned channel: the run keeps
+    // executing for seconds after recovery, so hot-path chatter wraps the
+    // per-CPU rings long before the run ends.
+    std::set<forensics::EventKind> kinds;
+    for (const forensics::FlightEvent& ev : rec.pinned()) {
+      kinds.insert(ev.kind);
+    }
+    EXPECT_TRUE(kinds.count(forensics::EventKind::kInjectionFired));
+    EXPECT_TRUE(kinds.count(forensics::EventKind::kDetection));
+    EXPECT_TRUE(kinds.count(forensics::EventKind::kRecoveryPhase));
+    EXPECT_EQ(rec.pinned_dropped(), 0u);
+    return;
+  }
+  FAIL() << "no detected run among seeds 1..32";
+}
+#endif
+
+// --- JSON parser ------------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsArraysObjects) {
+  sim::JsonValue v;
+  ASSERT_TRUE(sim::ParseJson("  {\"a\":[1,-2.5,true,false,null,\"x\\n\"]} ", &v));
+  const sim::JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 6u);
+  EXPECT_EQ(a->items[0].number, 1.0);
+  EXPECT_EQ(a->items[1].number, -2.5);
+  EXPECT_TRUE(a->items[2].boolean);
+  EXPECT_FALSE(a->items[3].boolean);
+  EXPECT_TRUE(a->items[4].IsNull());
+  EXPECT_EQ(a->items[5].str, "x\n");
+  EXPECT_EQ(v.Find("nope"), nullptr);
+}
+
+TEST(JsonParser, UnicodeEscapesAndExponents) {
+  sim::JsonValue v;
+  ASSERT_TRUE(sim::ParseJson("{\"s\":\"\\u0041\\u00e9\",\"n\":1.5e3}", &v));
+  EXPECT_EQ(v.Find("s")->str, "A\xc3\xa9");
+  EXPECT_EQ(v.Find("n")->number, 1500.0);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  sim::JsonValue v;
+  EXPECT_FALSE(sim::ParseJson("", &v));
+  EXPECT_FALSE(sim::ParseJson("{", &v));
+  EXPECT_FALSE(sim::ParseJson("[1,]", &v));
+  EXPECT_FALSE(sim::ParseJson("{\"a\":1} trailing", &v));
+  EXPECT_FALSE(sim::ParseJson("\"unterminated", &v));
+  EXPECT_FALSE(sim::ParseJson("truth", &v));
+  EXPECT_FALSE(sim::ParseJson("1.2.3", &v));
+  EXPECT_FALSE(sim::ParseJson("{'a':1}", &v));
+}
+
+TEST(JsonParser, RoundTripsEmittedArtifacts) {
+  // Chrome trace JSON.
+  sim::Tracer tracer;
+  tracer.Enable(16);
+  const auto id = tracer.Begin("outer", 0, 100);
+  tracer.Span("inner \"quoted\"", 0, 110, 150);
+  tracer.End(id, 200);
+  sim::JsonValue v;
+  ASSERT_TRUE(sim::ParseJson(tracer.ToChromeJson(), &v));
+  EXPECT_EQ(v.Find("traceEvents")->items.size(), 2u);
+
+  // Metrics registry JSON.
+  sim::MetricsRegistry reg;
+  reg.GetCounter("a.count").Inc(3);
+  reg.GetHistogram("a.ms").Observe(1.5);
+  ASSERT_TRUE(sim::ParseJson(reg.ToJson(), &v));
+  EXPECT_EQ(v.Find("counters")->Find("a.count")->number, 3.0);
+  EXPECT_EQ(v.Find("histograms")->Find("a.ms")->Find("count")->number, 1.0);
+}
+
+// --- Histogram quantiles ----------------------------------------------------
+
+TEST(HistogramQuantile, InterpolatesBetweenClosestRanks) {
+  sim::Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  for (double v : {4.0, 1.0, 3.0, 2.0}) h.Observe(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 1.75);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0 / 3.0), 2.0);  // exact rank, no fraction
+}
+
+// --- Correlator -------------------------------------------------------------
+
+TEST(Correlator, ClassifiesAgainstGroundTruth) {
+  using forensics::ClassifyDetection;
+  using forensics::DetectionClass;
+  using inject::Manifestation;
+  const auto panic = hv::DetectionKind::kPanic;
+  const auto hang = hv::DetectionKind::kHang;
+
+  // Nothing fired.
+  EXPECT_EQ(ClassifyDetection(false, Manifestation::kNone, false, panic, -1),
+            DetectionClass::kNotApplicable);
+  EXPECT_EQ(ClassifyDetection(false, Manifestation::kNone, true, panic, 0),
+            DetectionClass::kMisdetected);
+
+  // Fired, undetected.
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kNone, false, panic, -1),
+            DetectionClass::kNotApplicable);
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kSdc, false, panic, -1),
+            DetectionClass::kSilent);
+
+  // Fired + detected: kind agreement and latency thresholds.
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kImmediatePanic, true,
+                              panic, sim::Milliseconds(1)),
+            DetectionClass::kPrompt);
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kDelayedPanic, true, panic,
+                              sim::Milliseconds(11)),
+            DetectionClass::kDetectedLate);
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kHang, true, hang,
+                              sim::Milliseconds(400)),
+            DetectionClass::kPrompt);
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kHang, true, hang,
+                              sim::Milliseconds(600)),
+            DetectionClass::kDetectedLate);
+  // Wrong detector class, or a manifestation no detector should see.
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kDelayedPanic, true, hang,
+                              sim::Milliseconds(1)),
+            DetectionClass::kMisdetected);
+  EXPECT_EQ(ClassifyDetection(true, Manifestation::kSdc, true, panic, 0),
+            DetectionClass::kMisdetected);
+}
+
+// --- Profiler ---------------------------------------------------------------
+
+TEST(Profiler, CollapsesSpansWithSelfTimeWeights) {
+  std::vector<sim::TraceEvent> spans;
+  auto add = [&](std::uint32_t id, std::uint32_t parent, sim::Time s,
+                 sim::Time e, const std::string& name) {
+    sim::TraceEvent ev;
+    ev.id = id;
+    ev.parent = parent;
+    ev.start = s;
+    ev.end = e;
+    ev.name = name;
+    spans.push_back(ev);
+  };
+  add(1, 0, 0, 100, "root");
+  add(2, 1, 10, 30, "child a");   // space sanitized to '_'
+  add(3, 1, 40, 50, "child;b");   // ';' sanitized (frame separator)
+  // Self times: root = 100 - (20 + 10) = 70.
+  EXPECT_EQ(forensics::CollapsedStackProfile(spans),
+            "root 70\n"
+            "root;child_a 20\n"
+            "root;child_b 10\n");
+  EXPECT_EQ(forensics::CollapsedStackProfile({}), "");
+}
+
+TEST(Profiler, OrphanParentsAndZeroSelfTimeSpans) {
+  std::vector<sim::TraceEvent> spans;
+  sim::TraceEvent a;
+  a.id = 5;
+  a.parent = 99;  // parent not in snapshot: treated as a root
+  a.start = 0;
+  a.end = 10;
+  a.name = "lonely";
+  spans.push_back(a);
+  sim::TraceEvent b = a;
+  b.id = 6;
+  b.parent = 5;
+  b.start = 0;
+  b.end = 10;  // covers all of a: a's self time becomes 0 and is dropped
+  b.name = "cover";
+  spans.push_back(b);
+  EXPECT_EQ(forensics::CollapsedStackProfile(spans), "lonely;cover 10\n");
+}
+
+// --- Logger filtering + hook ------------------------------------------------
+
+TEST(Logger, ComponentLevelOverridesAndEventHook) {
+  sim::Logger log(sim::LogLevel::kInfo);
+  std::vector<std::string> sink;
+  log.SetSink(&sink);
+  log.SetComponentLevel("chatty", sim::LogLevel::kNone);
+  log.SetComponentLevel("quiet", sim::LogLevel::kDebug);
+
+  std::vector<std::string> hooked;
+  log.SetEventHook([&](sim::LogLevel, sim::Time, const std::string& comp,
+                       const std::string& msg) {
+    hooked.push_back(comp + "/" + msg);
+  });
+
+  log.Log(sim::LogLevel::kInfo, 0, "chatty", "dropped");
+  log.Log(sim::LogLevel::kDebug, 0, "other", "dropped (below global)");
+  log.Log(sim::LogLevel::kDebug, 0, "quiet", "kept (component override)");
+  log.Log(sim::LogLevel::kInfo, 0, "other", "kept");
+
+  ASSERT_EQ(hooked.size(), 2u);
+  EXPECT_EQ(hooked[0], "quiet/kept (component override)");
+  EXPECT_EQ(hooked[1], "other/kept");
+  EXPECT_EQ(sink.size(), 2u);  // hook fires for exactly the emitted lines
+
+  log.ClearComponentLevels();
+  log.Log(sim::LogLevel::kInfo, 0, "chatty", "audible again");
+  EXPECT_EQ(sink.size(), 3u);
+}
+
+// --- Dossiers + replay determinism -----------------------------------------
+
+TEST(Dossier, WorthinessFollowsFailureClasses) {
+  core::RunResult r;
+  EXPECT_FALSE(forensics::DossierWorthy(r));  // non-manifested
+  r.outcome = core::OutcomeClass::kSdc;
+  EXPECT_TRUE(forensics::DossierWorthy(r));
+  r = {};
+  r.outcome = core::OutcomeClass::kDetected;
+  r.detected = true;
+  r.success = true;
+  EXPECT_FALSE(forensics::DossierWorthy(r));  // clean recovery
+  r.success = false;
+  EXPECT_TRUE(forensics::DossierWorthy(r));  // failed recovery
+  r.success = true;
+  r.latent_corruption = true;
+  EXPECT_TRUE(forensics::DossierWorthy(r));  // latent corruption
+}
+
+TEST(Dossier, ReplayIsByteIdenticalAndParses) {
+  core::RunConfig cfg = core::RunConfig::OneAppVm(guest::BenchmarkKind::kUnixBench);
+  cfg.fault = inject::FaultType::kFailstop;
+
+  const forensics::ReplayArtifacts a = forensics::ReplayRun(cfg, 7);
+  const forensics::ReplayArtifacts b = forensics::ReplayRun(cfg, 7);
+  EXPECT_EQ(a.dossier_json, b.dossier_json);  // golden determinism
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.profile, b.profile);
+
+  sim::JsonValue doc;
+  ASSERT_TRUE(sim::ParseJson(a.dossier_json, &doc));
+  EXPECT_EQ(doc.Find("schema")->str, "nlh-dossier-v1");
+  EXPECT_EQ(doc.Find("run_id")->number, 7.0);
+  EXPECT_EQ(doc.Find("config")->Find("seed")->number, 7.0);
+  ASSERT_NE(doc.Find("result"), nullptr);
+  EXPECT_EQ(doc.Find("result")->Find("outcome")->str,
+            core::OutcomeClassName(a.result.outcome));
+  ASSERT_NE(doc.Find("injection"), nullptr);
+  ASSERT_NE(doc.Find("audit_findings"), nullptr);
+  ASSERT_TRUE(doc.Find("recorder")->IsObject());
+  EXPECT_TRUE(doc.Find("recorder")->Find("per_cpu")->IsArray());
+  EXPECT_TRUE(doc.Find("trace")->Find("traceEvents")->IsArray());
+  if (a.result.detected) {
+    EXPECT_FALSE(doc.Find("detection")->IsNull());
+#ifndef NLH_NO_FLIGHT_RECORDER
+    EXPECT_TRUE(doc.Find("recorder")->Find("detection_snapshot")->IsObject());
+#endif
+  }
+}
+
+// --- Campaign detection statistics -----------------------------------------
+
+TEST(CampaignForensics, DetectionSplitAndLatencyAggregatesInJson) {
+  core::RunConfig cfg = core::RunConfig::OneAppVm(guest::BenchmarkKind::kUnixBench);
+  cfg.fault = inject::FaultType::kRegister;  // mixed manifestations
+  core::CampaignOptions opts;
+  opts.runs = 24;
+  opts.seed0 = 300;
+  const core::CampaignResult res = core::RunCampaign(cfg, opts);
+
+  // Every detected run lands in exactly one of prompt/late/misdetected.
+  EXPECT_EQ(res.detected_prompt + res.detected_late + res.misdetected,
+            res.detected);
+  // SDC runs with a fired fault are silent (never detected).
+  EXPECT_GE(res.silent, res.sdc);
+
+  sim::JsonValue doc;
+  ASSERT_TRUE(sim::ParseJson(res.ToJson(), &doc));
+  const sim::JsonValue* det = doc.Find("detection");
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->Find("prompt")->number, res.detected_prompt);
+  EXPECT_EQ(det->Find("late")->number, res.detected_late);
+  EXPECT_EQ(det->Find("misdetected")->number, res.misdetected);
+  EXPECT_EQ(det->Find("silent")->number, res.silent);
+  const sim::JsonValue* by_class = det->Find("latency_by_class");
+  ASSERT_NE(by_class, nullptr);
+  int total_samples = 0;
+  for (const auto& [fault_class, agg] : by_class->fields) {
+    EXPECT_FALSE(fault_class.empty());
+    EXPECT_GE(agg.Find("max_ms")->number, agg.Find("p50_ms")->number);
+    total_samples += static_cast<int>(agg.Find("samples")->number);
+  }
+  if (res.detected > 0) EXPECT_GT(total_samples, 0);
+}
+
+}  // namespace

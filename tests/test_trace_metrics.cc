@@ -86,7 +86,8 @@ TEST(Metrics, RegistryCountersAndHistograms) {
   for (int i = 1; i <= 100; ++i) h.Observe(i);
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
-  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 99.0);  // nearest-rank
+  // Interpolated: rank 0.99*(100-1) = 98.01 between samples 99 and 100.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 99.01);
   EXPECT_EQ(reg.FindCounter("nope"), nullptr);
   const std::string json = reg.ToJson();
   EXPECT_NE(json.find("\"x.count\""), std::string::npos);
