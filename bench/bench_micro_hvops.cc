@@ -123,7 +123,7 @@ void BM_SchedMetadataRepair(benchmark::State& state) {
     vc.id = v;
     vc.pinned_cpu = v % 8;
     vc.state = hv::VcpuState::kRunnable;
-    vcpus.push_back(vc);
+    vcpus.push_back(std::move(vc));
   }
   for (auto _ : state) {
     pcpus[3].curr = 5;  // something to fix every round

@@ -1,0 +1,293 @@
+// Simulation-core throughput harness: the wall-clock speed of the three
+// measured hot paths that bound fault-injection campaign throughput —
+//   events/sec          raw EventQueue schedule/cancel/run mix
+//   hypercalls/sec      full hypercall dispatch on a booted hypervisor
+//   campaign runs/sec   end-to-end TargetSystem runs on the default
+//                       8-CPU / 3AppVM / failstop configuration
+//
+// Emits BENCH_simcore.json (--out) and optionally gates against a committed
+// baseline (--baseline): each metric is first normalized by `calib_mops`, a
+// fixed integer workload measured on the same machine in the same process,
+// so the gate compares *machine-relative* throughput and survives runner
+// speed differences. A metric more than --gate-pct (default 15) slower than
+// the baseline fails the run (exit 1).
+//
+// Flags: --out=FILE --baseline=FILE --gate-pct=P --runs=N --threads=N
+//        --seed=N --quick
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/campaign.h"
+#include "core/config.h"
+#include "hv/hypervisor.h"
+#include "hw/platform.h"
+#include "sim/event_queue.h"
+#include "sim/json.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Fixed integer workload used to normalize the throughput metrics across
+// machines: xorshift64* over a constant iteration count.
+double CalibMops() {
+  constexpr std::uint64_t kIters = 1u << 26;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x *= 0x2545f4914f6cdd1dULL;
+  }
+  const double secs = SecondsSince(t0);
+  // Keep the final state observable so the loop cannot be elided.
+  if (x == 0) std::fprintf(stderr, "calib degenerate\n");
+  return static_cast<double>(kIters) / secs / 1e6;
+}
+
+// EventQueue mix modeled on what a run does: a population of recurring
+// self-rescheduling events (timer ticks, run-slice kicks) plus a
+// cancel/reschedule churn lane (APIC one-shot reprogramming).
+double EventsPerSec(std::uint64_t target_events) {
+  nlh::sim::EventQueue q;
+  std::uint64_t executed = 0;
+
+  constexpr int kChains = 64;
+  struct Chain {
+    nlh::sim::EventQueue* q;
+    std::uint64_t* executed;
+    nlh::sim::EventId* victim;
+    int idx;
+    void operator()() const {
+      ++*executed;
+      const nlh::sim::Duration step = 1 + (idx * 7) % 13;
+      q->ScheduleAfter(step, *this);
+      // Churn lane: cancel the previous one-shot and arm a new one, like an
+      // APIC reprogram. Roughly one cancel per four chain firings.
+      if ((idx & 3) == 0) {
+        q->Cancel(*victim);
+        *victim = q->ScheduleAfter(5, [executed = executed] { ++*executed; });
+      }
+    }
+  };
+  std::vector<nlh::sim::EventId> victims(kChains, nlh::sim::kInvalidEvent);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kChains; ++i) {
+    q.ScheduleAfter(1 + i % 17, Chain{&q, &executed, &victims[i], i});
+  }
+  while (executed < target_events) {
+    if (!q.RunOne()) break;
+  }
+  const double secs = SecondsSince(t0);
+  return static_cast<double>(executed) / secs;
+}
+
+// Hypercall dispatch on a booted 2-CPU hypervisor (the bench_micro_hvops
+// world): alternating mmu_update map/unmap, the workhorse of UnixBench.
+double HypercallsPerSec(std::uint64_t target_calls) {
+  nlh::hw::PlatformConfig pcfg;
+  pcfg.num_cpus = 2;
+  pcfg.memory_gib = 1;
+  nlh::hw::Platform platform(pcfg, /*seed=*/1);
+  nlh::hv::Hypervisor hv(platform, nlh::hv::HvConfig{});
+  hv.Boot();
+  const nlh::hv::DomainId dom = hv.CreateDomainDirect("bench", false, 1, 32);
+  hv.StartDomain(dom);
+  const nlh::hv::VcpuId vcpu = hv.FindDomain(dom)->vcpus.front();
+  {
+    nlh::hv::OpContext ctx(platform, platform.cpu(1), hv.options(),
+                           nlh::hv::HvContextKind::kSchedule, nullptr, nullptr);
+    hv.Schedule(ctx, 1);
+  }
+  nlh::hv::HypercallArgs a;
+  bool map = true;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < target_calls; ++i) {
+    a.arg0 = 5;
+    a.arg1 = map ? 1 : 0;
+    hv.Hypercall(vcpu, nlh::hv::HypercallCode::kMmuUpdate, a);
+    map = !map;
+  }
+  const double secs = SecondsSince(t0);
+  return static_cast<double>(target_calls) / secs;
+}
+
+// End-to-end campaign throughput on the paper-default target system.
+double CampaignRunsPerSec(int runs, int threads, std::uint64_t seed0) {
+  nlh::core::RunConfig cfg;  // 8 CPUs, 3AppVM, NiLiHype, failstop
+  nlh::core::CampaignOptions opt;
+  opt.runs = runs;
+  opt.threads = threads;
+  opt.seed0 = seed0;
+  const auto t0 = Clock::now();
+  const nlh::core::CampaignResult res = nlh::core::RunCampaign(cfg, opt);
+  const double secs = SecondsSince(t0);
+  if (res.runs != runs) std::fprintf(stderr, "campaign run count mismatch\n");
+  return static_cast<double>(runs) / secs;
+}
+
+struct Metrics {
+  double calib_mops = 0;
+  double events_per_sec = 0;
+  double hypercalls_per_sec = 0;
+  double campaign_runs_per_sec = 0;
+};
+
+std::string ToJson(const Metrics& m, int runs, int threads, bool quick) {
+  std::string out = "{";
+  out += "\"bench\":\"sim_core\",\"schema\":1";
+  out += ",\"config\":{\"campaign_runs\":" + std::to_string(runs) +
+         ",\"threads\":" + std::to_string(threads) +
+         ",\"quick\":" + (quick ? std::string("true") : std::string("false")) +
+         "}";
+  out += ",\"calib_mops\":" + nlh::sim::JsonNum(m.calib_mops, 3);
+  out += ",\"events_per_sec\":" + nlh::sim::JsonNum(m.events_per_sec, 1);
+  out += ",\"hypercalls_per_sec\":" + nlh::sim::JsonNum(m.hypercalls_per_sec, 1);
+  out +=
+      ",\"campaign_runs_per_sec\":" + nlh::sim::JsonNum(m.campaign_runs_per_sec, 4);
+  out += "}";
+  return out;
+}
+
+bool LoadBaseline(const std::string& path, Metrics* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  nlh::sim::JsonValue v;
+  if (!nlh::sim::ParseJson(ss.str(), &v) || !v.IsObject()) return false;
+  auto num = [&](const char* key, double* dst) {
+    const nlh::sim::JsonValue* f = v.Find(key);
+    if (f == nullptr || f->type != nlh::sim::JsonValue::Type::kNumber) {
+      return false;
+    }
+    *dst = f->number;
+    return true;
+  };
+  return num("calib_mops", &out->calib_mops) &&
+         num("events_per_sec", &out->events_per_sec) &&
+         num("hypercalls_per_sec", &out->hypercalls_per_sec) &&
+         num("campaign_runs_per_sec", &out->campaign_runs_per_sec);
+}
+
+// Compares machine-normalized throughput against the baseline. Returns the
+// number of gate failures.
+int Gate(const Metrics& cur, const Metrics& base, double pct) {
+  struct Row {
+    const char* name;
+    double cur, base;
+  };
+  const Row rows[] = {
+      {"events_per_sec", cur.events_per_sec, base.events_per_sec},
+      {"hypercalls_per_sec", cur.hypercalls_per_sec, base.hypercalls_per_sec},
+      {"campaign_runs_per_sec", cur.campaign_runs_per_sec,
+       base.campaign_runs_per_sec},
+  };
+  int failures = 0;
+  std::printf("\nregression gate (±%.0f%%, normalized by calib_mops):\n", pct);
+  for (const Row& r : rows) {
+    if (r.base <= 0 || base.calib_mops <= 0 || cur.calib_mops <= 0) {
+      std::printf("  %-24s SKIP (no baseline)\n", r.name);
+      continue;
+    }
+    const double norm_cur = r.cur / cur.calib_mops;
+    const double norm_base = r.base / base.calib_mops;
+    const double ratio = norm_cur / norm_base;
+    const bool fail = ratio < 1.0 - pct / 100.0;
+    std::printf("  %-24s %10.1f vs %10.1f  (normalized x%.3f)%s\n", r.name,
+                r.cur, r.base, ratio,
+                fail ? "  REGRESSION"
+                     : (ratio > 1.0 + pct / 100.0 ? "  (faster; consider "
+                                                    "refreshing baseline)"
+                                                  : ""));
+    failures += fail ? 1 : 0;
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string baseline_path;
+  double gate_pct = 15.0;
+  int runs = 0;
+  int threads = 0;
+  std::uint64_t seed = 1000;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--gate-pct=", 11) == 0) {
+      gate_pct = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      runs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "flags: --out=FILE --baseline=FILE --gate-pct=P --runs=N "
+          "--threads=N --seed=N --quick\n");
+      return 0;
+    }
+  }
+  if (runs == 0) runs = quick ? 8 : 48;
+
+  nlh::bench::PrintHeader("Simulation-core throughput (bench_sim_core)",
+                          "the campaign engine underlying Sections VI-VII");
+
+  Metrics m;
+  m.calib_mops = CalibMops();
+  std::printf("calib                 %10.1f Mops\n", m.calib_mops);
+  m.events_per_sec = EventsPerSec(quick ? 2'000'000ULL : 10'000'000ULL);
+  std::printf("events/sec            %10.0f\n", m.events_per_sec);
+  m.hypercalls_per_sec = HypercallsPerSec(quick ? 200'000ULL : 1'000'000ULL);
+  std::printf("hypercalls/sec        %10.0f\n", m.hypercalls_per_sec);
+  m.campaign_runs_per_sec = CampaignRunsPerSec(runs, threads, seed);
+  std::printf("campaign runs/sec     %10.3f  (%d runs)\n",
+              m.campaign_runs_per_sec, runs);
+
+  const std::string json = ToJson(m, runs, threads, quick);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("%s\n", json.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    Metrics base;
+    if (!LoadBaseline(baseline_path, &base)) {
+      std::fprintf(stderr, "cannot load baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    const int failures = Gate(m, base, gate_pct);
+    if (failures > 0) {
+      std::fprintf(stderr, "%d metric(s) regressed beyond %.0f%%\n", failures,
+                   gate_pct);
+      return 1;
+    }
+  }
+  return 0;
+}

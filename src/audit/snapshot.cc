@@ -12,8 +12,8 @@ GoldenSnapshot GoldenSnapshot::Capture(hv::Hypervisor& hv) {
   const hv::HvHeap& heap = hv.heap();
   s.heap_allocated_pages = heap.allocated_pages();
   s.heap_objects = heap.num_objects();
-  for (const auto& [id, obj] : heap.objects()) {
-    s.heap_object_ids.insert(id);
+  for (const hv::HeapObject& obj : heap.objects()) {
+    s.heap_object_ids.insert(obj.id);
     ++s.heap_objects_by_tag[obj.tag];
   }
 
@@ -25,8 +25,8 @@ GoldenSnapshot GoldenSnapshot::Capture(hv::Hypervisor& hv) {
     s.recurring_timers_by_cpu[c] = recurring;
   }
 
-  for (const auto& [id, dom] : hv.domains()) {
-    s.domains.insert(id);
+  for (const hv::Domain& dom : hv.domains()) {
+    s.domains.insert(dom.id);
     s.open_event_ports += dom.evtchn.OpenCount();
     s.mapped_grants += dom.grants.MappedCount();
   }

@@ -59,7 +59,7 @@ void StateAuditor::AuditFrameTable(AuditReport& r) {
   // guest page tables (pte_present) and grant entries (map_count). The
   // baseline reference from allocation itself is 1.
   std::map<hv::FrameNumber, std::int64_t> refs;
-  for (auto& [id, dom] : hv_.domains()) {
+  for (hv::Domain& dom : hv_.domains()) {
     for (std::size_t s = 0; s < dom.pte_present.size(); ++s) {
       if (dom.pte_present[s]) {
         ++refs[dom.first_frame + static_cast<hv::FrameNumber>(s)];
@@ -149,7 +149,7 @@ void StateAuditor::AuditHeap(AuditReport& r) {
   };
   std::vector<Extent> extents;
   std::uint64_t object_pages = 0;
-  for (const auto& [id, obj] : heap.objects()) {
+  for (const hv::HeapObject& obj : heap.objects()) {
     extents.push_back({obj.first_frame, obj.pages, "object '" + obj.tag + "'"});
     object_pages += obj.pages;
   }
@@ -214,15 +214,15 @@ void StateAuditor::AuditHeap(AuditReport& r) {
   // referenced by some domain's struct_obj/grant_obj/evtchn_obj handle —
   // dead domains included (teardown is lazy). An unreferenced one is a
   // leaked allocation no recovery mechanism will ever free.
-  for (const auto& [id, obj] : heap.objects()) {
+  for (const hv::HeapObject& obj : heap.objects()) {
     const bool domain_tagged = obj.tag.rfind("domain:", 0) == 0 ||
                                obj.tag.rfind("gnttab:", 0) == 0 ||
                                obj.tag.rfind("evtchn:", 0) == 0;
     if (!domain_tagged) continue;
     bool referenced = false;
-    for (auto& [did, dom] : hv_.domains()) {
-      if (dom.struct_obj == id || dom.grant_obj == id ||
-          dom.evtchn_obj == id) {
+    for (hv::Domain& dom : hv_.domains()) {
+      if (dom.struct_obj == obj.id || dom.grant_obj == obj.id ||
+          dom.evtchn_obj == obj.id) {
         referenced = true;
         break;
       }
@@ -373,7 +373,7 @@ void StateAuditor::AuditLocks(AuditReport& r) {
                " with no thread to release it");
     }
   }
-  for (const auto& [id, obj] : hv_.heap().objects()) {
+  for (const hv::HeapObject& obj : hv_.heap().objects()) {
     r.modeled_cost += kLockCost;
     if (obj.lock && obj.lock->held()) {
       Emit(r, AuditSubsystem::kLocks, "lock.heap_held", AuditSeverity::kFatal,
@@ -387,7 +387,7 @@ void StateAuditor::AuditLocks(AuditReport& r) {
 // --- Event channels --------------------------------------------------------
 
 void StateAuditor::AuditEventChannels(AuditReport& r) {
-  for (auto& [id, dom] : hv_.domains()) {
+  for (hv::Domain& dom : hv_.domains()) {
     r.modeled_cost += static_cast<sim::Duration>(hv::kMaxEventPorts) *
                       kPortCost;
     for (hv::EventPort p = 0; p < hv::kMaxEventPorts; ++p) {
@@ -399,7 +399,7 @@ void StateAuditor::AuditEventChannels(AuditReport& r) {
         if (remote == nullptr) {
           Emit(r, AuditSubsystem::kEventChannel, "evtchn.closure",
                AuditSeverity::kLatent,
-               "domain " + std::to_string(id) + " port " + std::to_string(p) +
+               "domain " + std::to_string(dom.id) + " port " + std::to_string(p) +
                    " connected to nonexistent domain " +
                    std::to_string(ch.remote_domain));
         } else if (remote->alive()) {
@@ -410,12 +410,12 @@ void StateAuditor::AuditEventChannels(AuditReport& r) {
           if (!closed) {
             const hv::EventChannel& rch = remote->evtchn.At(ch.remote_port);
             closed = rch.state != hv::ChannelState::kInterdomain ||
-                     rch.remote_domain != id || rch.remote_port != p;
+                     rch.remote_domain != dom.id || rch.remote_port != p;
           }
           if (closed) {
             Emit(r, AuditSubsystem::kEventChannel, "evtchn.closure",
                  AuditSeverity::kLatent,
-                 "domain " + std::to_string(id) + " port " +
+                 "domain " + std::to_string(dom.id) + " port " +
                      std::to_string(p) + " -> domain " +
                      std::to_string(ch.remote_domain) + " port " +
                      std::to_string(ch.remote_port) +
@@ -429,11 +429,11 @@ void StateAuditor::AuditEventChannels(AuditReport& r) {
         const bool notify_ok =
             ch.notify_vcpu >= 0 &&
             ch.notify_vcpu < static_cast<hv::VcpuId>(hv_.vcpus().size()) &&
-            hv_.vcpu(ch.notify_vcpu).domain == id;
+            hv_.vcpu(ch.notify_vcpu).domain == dom.id;
         if (!notify_ok) {
           Emit(r, AuditSubsystem::kEventChannel, "evtchn.notify_vcpu",
                AuditSeverity::kLatent,
-               "domain " + std::to_string(id) + " port " + std::to_string(p) +
+               "domain " + std::to_string(dom.id) + " port " + std::to_string(p) +
                    " notifies vCPU " + std::to_string(ch.notify_vcpu) +
                    " which is not one of its vCPUs");
         }
@@ -462,7 +462,7 @@ void StateAuditor::AuditEventChannels(AuditReport& r) {
 
 void StateAuditor::AuditGrantTables(AuditReport& r) {
   hv::FrameTable& frames = hv_.frames();
-  for (auto& [id, dom] : hv_.domains()) {
+  for (hv::Domain& dom : hv_.domains()) {
     r.modeled_cost += static_cast<sim::Duration>(hv::kGrantTableSize) *
                       kGrantCost;
     for (hv::GrantRef g = 0; g < hv::kGrantTableSize; ++g) {
@@ -470,7 +470,7 @@ void StateAuditor::AuditGrantTables(AuditReport& r) {
       if (e.map_count < 0 || (e.map_count > 0 && !e.in_use)) {
         Emit(r, AuditSubsystem::kGrantTable, "grant.map_count",
              AuditSeverity::kLatent,
-             "domain " + std::to_string(id) + " grant " + std::to_string(g) +
+             "domain " + std::to_string(dom.id) + " grant " + std::to_string(g) +
                  ": map_count=" + std::to_string(e.map_count) +
                  " in_use=" + std::to_string(e.in_use));
       }
@@ -478,18 +478,18 @@ void StateAuditor::AuditGrantTables(AuditReport& r) {
       if (hv_.FindDomain(e.grantee) == nullptr) {
         Emit(r, AuditSubsystem::kGrantTable, "grant.grantee_exists",
              AuditSeverity::kLatent,
-             "domain " + std::to_string(id) + " grant " + std::to_string(g) +
+             "domain " + std::to_string(dom.id) + " grant " + std::to_string(g) +
                  " granted to nonexistent domain " +
                  std::to_string(e.grantee));
       }
       const bool frame_ok =
           e.frame < static_cast<hv::FrameNumber>(frames.size()) &&
           frames.desc(e.frame).type != hv::FrameType::kFree &&
-          frames.desc(e.frame).owner == id;
+          frames.desc(e.frame).owner == dom.id;
       if (!frame_ok) {
         Emit(r, AuditSubsystem::kGrantTable, "grant.frame_owner",
              AuditSeverity::kLatent,
-             "domain " + std::to_string(id) + " grant " + std::to_string(g) +
+             "domain " + std::to_string(dom.id) + " grant " + std::to_string(g) +
                  " covers frame " + std::to_string(e.frame) +
                  " it does not own");
       }

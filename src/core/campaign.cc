@@ -148,12 +148,15 @@ CampaignResult RunCampaign(const RunConfig& config,
   nthreads = std::min(nthreads, options.runs);
 
   auto worker = [&] {
+    // One arena per worker: event-queue buffers are recycled across this
+    // worker's runs (capacity only — no logical state crosses runs).
+    RunArena arena;
     while (true) {
       const int i = next.fetch_add(1);
       if (i >= options.runs) return;
       RunConfig cfg = config;
       cfg.seed = options.seed0 + static_cast<std::uint64_t>(i);
-      TargetSystem sys(cfg);
+      TargetSystem sys(cfg, &arena);
       run_results[static_cast<std::size_t>(i)] = sys.Run();
       if (options.on_run) {
         std::lock_guard<std::mutex> lock(mu);

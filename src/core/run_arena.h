@@ -1,0 +1,20 @@
+// Per-worker scratch buffers recycled across campaign runs.
+//
+// A campaign constructs and destroys one full TargetSystem per run; most of
+// that cost is re-growing the event queue's slab and heap from zero every
+// time. A worker thread keeps one RunArena alive across its runs and hands
+// it to each TargetSystem, which adopts the buffers at build time (before
+// anything is scheduled) and returns them at teardown. No logical state
+// crosses runs — only vector capacity — so results are bit-identical with
+// or without an arena.
+#pragma once
+
+#include "sim/event_queue.h"
+
+namespace nlh::core {
+
+struct RunArena {
+  sim::EventQueue::Storage queue;
+};
+
+}  // namespace nlh::core

@@ -27,14 +27,28 @@ const char* OutcomeClassName(OutcomeClass c) {
 }
 
 TargetSystem::TargetSystem(const RunConfig& config)
-    : config_(config), run_rng_(config.seed ^ 0xa5a5a5a5ULL) {
+    : TargetSystem(config, nullptr) {}
+
+TargetSystem::TargetSystem(const RunConfig& config, RunArena* arena)
+    : config_(config), arena_(arena), run_rng_(config.seed ^ 0xa5a5a5a5ULL) {
   Build();
 }
 
-TargetSystem::~TargetSystem() = default;
+TargetSystem::~TargetSystem() {
+  // Hand the event queue's buffers back to the worker's arena so the next
+  // run starts with warmed capacity instead of growing from zero.
+  if (arena_ != nullptr && platform_ != nullptr) {
+    arena_->queue = platform_->queue().ReleaseStorage();
+  }
+}
 
 void TargetSystem::Build() {
   platform_ = std::make_unique<hw::Platform>(config_.platform, config_.seed);
+  // Adopt recycled buffers before anything is scheduled (Platform's
+  // constructor schedules nothing; timers start later, during Boot()).
+  if (arena_ != nullptr) {
+    platform_->queue().AdoptStorage(std::move(arena_->queue));
+  }
   hv_ = std::make_unique<hv::Hypervisor>(*platform_, config_.MakeHvConfig());
   hv_->Boot();
 
@@ -446,9 +460,12 @@ RunResult TargetSystem::Classify() {
 
 void TargetSystem::BuildTimeline(const RunResult& r) {
   if (!timeline_.enabled()) return;
-  timeline_.Add(0, "system",
-                std::string("boot: ") + MechanismName(config_.mechanism) +
-                    ", seed " + std::to_string(config_.seed));
+  // NLH_TIMELINE_ADD re-checks enabled() before evaluating its arguments,
+  // so the string formatting below costs nothing if this early return is
+  // ever removed or a call site moves onto a hot path.
+  NLH_TIMELINE_ADD(timeline_, 0, "system",
+                   std::string("boot: ") + MechanismName(config_.mechanism) +
+                       ", seed " + std::to_string(config_.seed));
   if (injector_ != nullptr && injector_->record().fired) {
     const inject::InjectionRecord& rec = injector_->record();
     std::string what = std::string(inject::FaultTypeName(config_.fault)) +
@@ -463,34 +480,38 @@ void TargetSystem::BuildTimeline(const RunResult& r) {
         break;
       case inject::Manifestation::kHang: what += " (livelock)"; break;
     }
-    timeline_.Add(rec.fired_at, "inject", what);
+    NLH_TIMELINE_ADD(timeline_, rec.fired_at, "inject", what);
   }
   if (manager_ != nullptr) {
     for (const recovery::RecoveryReport& rep : manager_->reports()) {
-      timeline_.Add(rep.detected_at, "detect",
-                    rep.kind == hv::DetectionKind::kPanic ? "panic detected"
-                                                          : "hang detected");
+      NLH_TIMELINE_ADD(timeline_, rep.detected_at, "detect",
+                       rep.kind == hv::DetectionKind::kPanic
+                           ? "panic detected"
+                           : "hang detected");
       for (const recovery::StepLatency& step : rep.steps) {
-        timeline_.Add(rep.detected_at, "recover",
-                      step.name + " (" +
-                          std::to_string(sim::ToMicros(step.latency)) + " us)");
+        NLH_TIMELINE_ADD(timeline_, rep.detected_at, "recover",
+                         step.name + " (" +
+                             std::to_string(sim::ToMicros(step.latency)) +
+                             " us)");
       }
       if (rep.gave_up) {
-        timeline_.Add(rep.detected_at, "recover",
-                      "GAVE UP: " + rep.give_up_reason);
+        NLH_TIMELINE_ADD(timeline_, rep.detected_at, "recover",
+                         "GAVE UP: " + rep.give_up_reason);
       } else {
-        timeline_.Add(rep.resumed_at, "recover", "system resumed");
+        NLH_TIMELINE_ADD(timeline_, rep.resumed_at, "recover",
+                         "system resumed");
       }
     }
   }
   for (const VmVerdict& v : r.vms) {
-    timeline_.Add(platform_->Now(), "vm",
-                  v.name + ": " + (v.affected ? "AFFECTED — " + v.why : "ok"));
+    NLH_TIMELINE_ADD(timeline_, platform_->Now(), "vm",
+                     v.name + ": " +
+                         (v.affected ? "AFFECTED — " + v.why : "ok"));
   }
   if (r.vm3_attempted) {
-    timeline_.Add(platform_->Now(), "vm",
-                  std::string("post-recovery VM creation check: ") +
-                      (r.vm3_ok ? "passed" : "FAILED"));
+    NLH_TIMELINE_ADD(timeline_, platform_->Now(), "vm",
+                     std::string("post-recovery VM creation check: ") +
+                         (r.vm3_ok ? "passed" : "FAILED"));
   }
   if (r.audited) {
     std::string what = r.audit_clean
@@ -499,10 +520,11 @@ void TargetSystem::BuildTimeline(const RunResult& r) {
                                  std::to_string(r.audit_report.CorruptionCount()) +
                                  " corruption finding(s)";
     if (r.latent_corruption) what += " (latent: run classified successful)";
-    timeline_.Add(platform_->Now(), "audit", what);
+    NLH_TIMELINE_ADD(timeline_, platform_->Now(), "audit", what);
   }
   if (r.system_dead) {
-    timeline_.Add(platform_->Now(), "system", "platform dead: " + r.death_reason);
+    NLH_TIMELINE_ADD(timeline_, platform_->Now(), "system",
+                     "platform dead: " + r.death_reason);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "hv/hypervisor.h"
 #include "hw/platform.h"
 #include "inject/injector.h"
+#include "core/run_arena.h"
 #include "recovery/manager.h"
 
 namespace nlh::core {
@@ -33,6 +34,11 @@ namespace nlh::core {
 class TargetSystem {
  public:
   explicit TargetSystem(const RunConfig& config);
+  // Arena flavor: adopts the arena's recycled buffers during Build() and
+  // returns them (with any grown capacity) at destruction. The arena must
+  // outlive this object. Purely a reuse of vector capacity across runs;
+  // results are identical with arena == nullptr.
+  TargetSystem(const RunConfig& config, RunArena* arena);
   ~TargetSystem();
 
   TargetSystem(const TargetSystem&) = delete;
@@ -102,6 +108,7 @@ class TargetSystem {
   void BuildTimeline(const RunResult& r);
 
   RunConfig config_;
+  RunArena* arena_ = nullptr;  // not owned; may be null
   std::unique_ptr<hw::Platform> platform_;
   std::unique_ptr<hv::Hypervisor> hv_;
   std::unique_ptr<detect::HangDetector> hang_;

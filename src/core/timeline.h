@@ -26,6 +26,10 @@ class Timeline {
   void Enable() { enabled_ = true; }
   bool enabled() const { return enabled_; }
 
+  // Prefer the NLH_TIMELINE_ADD macro at call sites: Add still re-checks
+  // enabled_, but by the time Add is called its string arguments have
+  // already been constructed. The macro defers argument evaluation behind
+  // the check so a disabled timeline costs one branch and zero allocations.
   void Add(sim::Time at, std::string category, std::string text) {
     if (!enabled_) return;
     events_.push_back({at, std::move(category), std::move(text)});
@@ -46,3 +50,11 @@ class Timeline {
 };
 
 }  // namespace nlh::core
+
+// Records a timeline event without evaluating the category/text expressions
+// (typically string concatenations) unless the timeline is enabled.
+#define NLH_TIMELINE_ADD(timeline, at, category, text)       \
+  do {                                                       \
+    ::nlh::core::Timeline& nlh_tl_ = (timeline);             \
+    if (nlh_tl_.enabled()) nlh_tl_.Add((at), (category), (text)); \
+  } while (0)

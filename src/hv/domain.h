@@ -1,7 +1,9 @@
 // Domains (VMs) as the hypervisor sees them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,6 +63,94 @@ struct Domain {
     return lifecycle == DomainLifecycle::kRunning ||
            lifecycle == DomainLifecycle::kCreating;
   }
+};
+
+// The hypervisor's domain list: a flat vector of unique_ptr<Domain> kept
+// sorted by id (replacing std::map<DomainId, Domain>).
+//
+// Two invariants matter:
+//  - Iteration is id-ascending, exactly like the map it replaced — the
+//    audit walkers and campaign JSON depend on this order for byte-
+//    identical goldens.
+//  - Domain addresses are stable across insert/erase (the indirection via
+//    unique_ptr): hypercall handlers hold Domain* across nested operations
+//    that create or destroy other domains (e.g. a PrivVM toolstack slice
+//    creating a domain mid-slice).
+//
+// Find is a binary search over a contiguous id array; with the handful of
+// domains a host runs this is faster than the map's pointer-chasing and
+// allocation-free on the create path (ids are assigned monotonically, so
+// insertion is push_back).
+class DomainTable {
+ public:
+  class iterator {
+   public:
+    using Inner = std::vector<std::unique_ptr<Domain>>::iterator;
+    explicit iterator(Inner it) : it_(it) {}
+    Domain& operator*() const { return **it_; }
+    Domain* operator->() const { return it_->get(); }
+    iterator& operator++() { ++it_; return *this; }
+    bool operator==(const iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const iterator& o) const { return it_ != o.it_; }
+   private:
+    Inner it_;
+  };
+  class const_iterator {
+   public:
+    using Inner = std::vector<std::unique_ptr<Domain>>::const_iterator;
+    explicit const_iterator(Inner it) : it_(it) {}
+    const Domain& operator*() const { return **it_; }
+    const Domain* operator->() const { return it_->get(); }
+    const_iterator& operator++() { ++it_; return *this; }
+    bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+   private:
+    Inner it_;
+  };
+
+  iterator begin() { return iterator(slots_.begin()); }
+  iterator end() { return iterator(slots_.end()); }
+  const_iterator begin() const { return const_iterator(slots_.begin()); }
+  const_iterator end() const { return const_iterator(slots_.end()); }
+
+  bool empty() const { return slots_.empty(); }
+  std::size_t size() const { return slots_.size(); }
+
+  // i-th domain in id order (deterministic random pick for injection).
+  Domain& at_index(std::size_t i) { return *slots_[i]; }
+
+  Domain& Insert(Domain&& dom) {
+    auto it = LowerBound(dom.id);
+    it = slots_.insert(it, std::make_unique<Domain>(std::move(dom)));
+    return **it;
+  }
+
+  Domain* Find(DomainId id) {
+    auto it = LowerBound(id);
+    return (it != slots_.end() && (*it)->id == id) ? it->get() : nullptr;
+  }
+  const Domain* Find(DomainId id) const {
+    return const_cast<DomainTable*>(this)->Find(id);
+  }
+
+  std::size_t count(DomainId id) const { return Find(id) != nullptr ? 1 : 0; }
+
+  std::size_t erase(DomainId id) {
+    auto it = LowerBound(id);
+    if (it == slots_.end() || (*it)->id != id) return 0;
+    slots_.erase(it);
+    return 1;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Domain>>::iterator LowerBound(DomainId id) {
+    return std::lower_bound(slots_.begin(), slots_.end(), id,
+                            [](const std::unique_ptr<Domain>& d, DomainId v) {
+                              return d->id < v;
+                            });
+  }
+
+  std::vector<std::unique_ptr<Domain>> slots_;  // sorted by id
 };
 
 }  // namespace nlh::hv

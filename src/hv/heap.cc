@@ -88,15 +88,15 @@ HeapObjectId HvHeap::Alloc(const std::string& tag, std::uint64_t pages,
     obj.lock = std::make_unique<SpinLock>("heap:" + tag);
   }
   const HeapObjectId id = obj.id;
-  objects_.emplace(id, std::move(obj));
+  objects_.push_back(std::move(obj));  // ids are monotonic: stays sorted
   return id;
 }
 
 void HvHeap::Free(HeapObjectId id) {
-  auto it = objects_.find(id);
-  HvAssert(it != objects_.end(), "freeing unknown heap object");
-  const std::uint64_t pages = it->second.pages;
-  const FrameNumber first = it->second.first_frame;
+  auto it = LowerBound(id);
+  HvAssert(it != objects_.end() && it->id == id, "freeing unknown heap object");
+  const std::uint64_t pages = it->pages;
+  const FrameNumber first = it->first_frame;
   objects_.erase(it);
 
   const std::int64_t slot = AllocChunkSlot();
@@ -111,8 +111,14 @@ void HvHeap::Free(HeapObjectId id) {
 }
 
 HeapObject* HvHeap::Find(HeapObjectId id) {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : &it->second;
+  auto it = LowerBound(id);
+  return (it != objects_.end() && it->id == id) ? &*it : nullptr;
+}
+
+std::vector<HeapObject>::iterator HvHeap::LowerBound(HeapObjectId id) {
+  return std::lower_bound(
+      objects_.begin(), objects_.end(), id,
+      [](const HeapObject& o, HeapObjectId v) { return o.id < v; });
 }
 
 SpinLock* HvHeap::LockOf(HeapObjectId id) {
@@ -122,7 +128,7 @@ SpinLock* HvHeap::LockOf(HeapObjectId id) {
 
 int HvHeap::ReleaseAllLocks() {
   int released = 0;
-  for (auto& [id, obj] : objects_) {
+  for (HeapObject& obj : objects_) {
     if (obj.lock && obj.lock->held()) {
       obj.lock->ForceRelease();
       ++released;
@@ -133,7 +139,7 @@ int HvHeap::ReleaseAllLocks() {
 
 int HvHeap::HeldLockCount() const {
   int held = 0;
-  for (const auto& [id, obj] : objects_) {
+  for (const HeapObject& obj : objects_) {
     if (obj.lock && obj.lock->held()) ++held;
   }
   return held;
@@ -145,7 +151,7 @@ std::uint64_t HvHeap::RecreateFreeList() {
   // the result is valid regardless of how mangled the old linkage was.
   std::vector<const HeapObject*> live;
   live.reserve(objects_.size());
-  for (const auto& [id, obj] : objects_) live.push_back(&obj);
+  for (const HeapObject& obj : objects_) live.push_back(&obj);
   std::sort(live.begin(), live.end(),
             [](const HeapObject* a, const HeapObject* b) {
               return a->first_frame < b->first_frame;

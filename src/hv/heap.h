@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,10 +62,11 @@ class HvHeap {
   std::uint64_t total_pages() const { return total_pages_; }
   FrameNumber heap_base() const { return heap_base_; }
 
-  // Read-only view of the live objects (audit / census walkers).
-  const std::map<HeapObjectId, HeapObject>& objects() const {
-    return objects_;
-  }
+  // Read-only view of the live objects, id-ascending (audit / census
+  // walkers depend on this order for deterministic output). Ids are
+  // assigned monotonically, so allocation appends and the vector stays
+  // sorted; Free erases in place.
+  const std::vector<HeapObject>& objects() const { return objects_; }
 
   // Safe, non-throwing free-list walk for the audit engine: returns the
   // (first_frame, pages) extent of every reachable free chunk, or an empty
@@ -116,11 +116,15 @@ class HvHeap {
 
   std::int64_t AllocChunkSlot();
   void WalkCheck(std::int64_t idx, int steps) const;
+  std::vector<HeapObject>::iterator LowerBound(HeapObjectId id);
 
   FrameTable& frames_;
   std::vector<Chunk> chunks_;
   std::int64_t free_head_ = kNullChunk;
-  std::map<HeapObjectId, HeapObject> objects_;
+  // Flat, id-sorted (ids are monotonic, so Alloc is push_back). HeapObject
+  // moves on erase, but the embedded lock is behind a unique_ptr, so lock
+  // addresses handed out by LockOf stay stable.
+  std::vector<HeapObject> objects_;
   HeapObjectId next_id_ = 1;
   FrameNumber heap_base_ = kInvalidFrame;
   std::uint64_t total_pages_ = 0;

@@ -72,13 +72,24 @@ std::string DetectionSnapshotJson(Hypervisor& hv, const DetectionEvent& ev) {
 // not advance inside a slice). No-op when tracing is disabled.
 class CtxSpan {
  public:
-  CtxSpan(Hypervisor& hv, const OpContext& ctx, std::string name,
+  // Hot-path form: the name was interned once at Hypervisor construction,
+  // so this costs one branch when tracing is disabled.
+  CtxSpan(Hypervisor& hv, const OpContext& ctx, sim::NameId name,
           hw::CpuId cpu)
       : hv_(hv), ctx_(ctx) {
     if (hv.tracer().enabled()) {
       start_ = hv.Now();
       instr0_ = ctx.instructions();
-      id_ = hv.tracer().Begin(std::move(name), cpu, start_);
+      id_ = hv.tracer().Begin(name, cpu, start_);
+    }
+  }
+  CtxSpan(Hypervisor& hv, const OpContext& ctx, const std::string& name,
+          hw::CpuId cpu)
+      : hv_(hv), ctx_(ctx) {
+    if (hv.tracer().enabled()) {
+      start_ = hv.Now();
+      instr0_ = ctx.instructions();
+      id_ = hv.tracer().Begin(name, cpu, start_);
     }
   }
   CtxSpan(const CtxSpan&) = delete;
@@ -103,29 +114,36 @@ Hypervisor::Hypervisor(hw::Platform& platform, const HvConfig& config)
       config_(config),
       frames_(config.frame_table_frames),
       heap_(frames_) {
-  c_hypercalls_ = &metrics_.GetCounter("hv.hypercalls");
-  c_syscall_forwards_ = &metrics_.GetCounter("hv.syscall_forwards");
-  c_interrupts_ = &metrics_.GetCounter("hv.interrupts");
-  c_schedules_ = &metrics_.GetCounter("hv.schedules");
-  c_timer_softirqs_ = &metrics_.GetCounter("hv.timer_softirqs");
-  c_idle_polls_ = &metrics_.GetCounter("hv.idle_polls");
-  c_events_sent_ = &metrics_.GetCounter("hv.events_sent");
-  c_detections_ = &metrics_.GetCounter("hv.detections");
-  c_recoveries_ = &metrics_.GetCounter("hv.recoveries");
+  c_hypercalls_ = metrics_.CounterHandleFor("hv.hypercalls");
+  c_syscall_forwards_ = metrics_.CounterHandleFor("hv.syscall_forwards");
+  c_interrupts_ = metrics_.CounterHandleFor("hv.interrupts");
+  c_schedules_ = metrics_.CounterHandleFor("hv.schedules");
+  c_timer_softirqs_ = metrics_.CounterHandleFor("hv.timer_softirqs");
+  c_idle_polls_ = metrics_.CounterHandleFor("hv.idle_polls");
+  c_events_sent_ = metrics_.CounterHandleFor("hv.events_sent");
+  c_detections_ = metrics_.CounterHandleFor("hv.detections");
+  c_recoveries_ = metrics_.CounterHandleFor("hv.recoveries");
+  for (int c = 0; c < kNumHypercalls; ++c) {
+    span_hypercall_[static_cast<std::size_t>(c)] = tracer_.InternName(
+        "hypercall:" +
+        std::string(HypercallName(static_cast<HypercallCode>(c))));
+  }
+  span_schedule_ = tracer_.InternName("schedule");
+  span_timer_softirq_ = tracer_.InternName("timer_softirq");
   recorder_.SetClock([this] { return Now(); });
 }
 
 HvStats Hypervisor::stats() const {
   HvStats s;
-  s.hypercalls = c_hypercalls_->value();
-  s.syscall_forwards = c_syscall_forwards_->value();
-  s.interrupts = c_interrupts_->value();
-  s.schedules = c_schedules_->value();
-  s.timer_softirqs = c_timer_softirqs_->value();
-  s.idle_polls = c_idle_polls_->value();
-  s.events_sent = c_events_sent_->value();
-  s.detections = c_detections_->value();
-  s.recoveries = c_recoveries_->value();
+  s.hypercalls = c_hypercalls_.value();
+  s.syscall_forwards = c_syscall_forwards_.value();
+  s.interrupts = c_interrupts_.value();
+  s.schedules = c_schedules_.value();
+  s.timer_softirqs = c_timer_softirqs_.value();
+  s.idle_polls = c_idle_polls_.value();
+  s.events_sent = c_events_sent_.value();
+  s.detections = c_detections_.value();
+  s.recoveries = c_recoveries_.value();
   return s;
 }
 
@@ -194,8 +212,8 @@ DomainId Hypervisor::CreateDomainDirect(const std::string& name,
   vc.domain = id;
   vc.pinned_cpu = pinned_cpu;
   vc.state = VcpuState::kOffline;
-  vcpus_.push_back(vc);
   dom.vcpus.push_back(vc.id);
+  vcpus_.push_back(std::move(vc));
 
   // Port 0 is reserved for the timer virq.
   EventChannel& timer_port = dom.evtchn.At(0);
@@ -203,7 +221,7 @@ DomainId Hypervisor::CreateDomainDirect(const std::string& name,
   timer_port.virq = 0;
   timer_port.notify_vcpu = vc.id;
 
-  domains_.emplace(id, std::move(dom));
+  domains_.Insert(std::move(dom));
   StartSchedTick(pinned_cpu);
   return id;
 }
@@ -229,10 +247,7 @@ void Hypervisor::StartDomain(DomainId dom) {
   }
 }
 
-Domain* Hypervisor::FindDomain(DomainId id) {
-  auto it = domains_.find(id);
-  return it == domains_.end() ? nullptr : &it->second;
-}
+Domain* Hypervisor::FindDomain(DomainId id) { return domains_.Find(id); }
 
 // ---------------------------------------------------------------------------
 // Recurring timers
@@ -493,7 +508,7 @@ sim::Duration Hypervisor::HandleOneInterrupt(hw::CpuId cpu) {
 
   hw::Cpu& c = platform_.cpu(cpu);
   PerCpuData& pc = percpu_[static_cast<std::size_t>(cpu)];
-  c_interrupts_->Inc();
+  c_interrupts_.Inc();
   NLH_RECORD(forensics::EventKind::kIrqDeliver, cpu,
              static_cast<std::uint64_t>(v));
 
@@ -536,8 +551,8 @@ sim::Duration Hypervisor::HandleOneInterrupt(hw::CpuId cpu) {
 }
 
 void Hypervisor::TimerSoftirq(OpContext& ctx, hw::CpuId cpu) {
-  CtxSpan span(*this, ctx, "timer_softirq", cpu);
-  c_timer_softirqs_->Inc();
+  CtxSpan span(*this, ctx, span_timer_softirq_, cpu);
+  c_timer_softirqs_.Inc();
   statics_.Use(StaticVar::kTimerSubsysState);
   ctx.Step(cost::kTimerSoftirqFixed, "timer-softirq");
 
@@ -550,10 +565,10 @@ void Hypervisor::TimerSoftirq(OpContext& ctx, hw::CpuId cpu) {
     if (t.period > 0) {
       // Abandonment between the pop above and this re-insert loses the
       // recurring event ("Reactivate recurring timer events", Section V-A).
-      SoftTimer re = t;
-      re.deadline = t.deadline + t.period;
-      while (re.deadline <= Now()) re.deadline += t.period;
-      th.Insert(re);
+      SoftTimer re = std::move(t);
+      re.deadline += re.period;
+      while (re.deadline <= Now()) re.deadline += re.period;
+      th.Insert(std::move(re));
       ctx.Step(40, "timer-rearm");
     }
   }
@@ -567,7 +582,7 @@ void Hypervisor::TimerSoftirq(OpContext& ctx, hw::CpuId cpu) {
 
 void Hypervisor::IdlePoll(OpContext& ctx, hw::CpuId cpu) {
   (void)cpu;
-  c_idle_polls_->Inc();
+  c_idle_polls_.Inc();
   ctx.Step(cost::kIdlePoll, "idle-poll");
 }
 
@@ -583,12 +598,12 @@ void Hypervisor::DeliverVirqTimer(VcpuId v) {
 // ---------------------------------------------------------------------------
 
 VcpuId Hypervisor::Schedule(OpContext& ctx, hw::CpuId cpu) {
-  CtxSpan span(*this, ctx, "schedule", cpu);
+  CtxSpan span(*this, ctx, span_schedule_, cpu);
   PerCpuData& pc = percpu_[static_cast<std::size_t>(cpu)];
   HvAssert(pc.local_irq_count == 0, "ASSERT !in_irq() in schedule()");
   statics_.Use(StaticVar::kSchedOpsPtr);
   statics_.Use(StaticVar::kPerCpuOffsets);
-  c_schedules_->Inc();
+  c_schedules_.Inc();
 
   ctx.Lock(pc.sched_lock);
   ctx.Step(cost::kSchedule, "schedule");
@@ -681,7 +696,7 @@ void Hypervisor::SendEventToPort(DomainId dom, EventPort port, OpContext* ctx) {
   HvAssert(!vc.struct_corrupted, "corrupted vcpu struct in event delivery");
   vc.pending_events |= (1ULL << port);
   if (ctx != nullptr) ctx->Step(60, "event-deliver");
-  c_events_sent_->Inc();
+  c_events_sent_.Inc();
   WakeVcpu(target);
 }
 
@@ -694,7 +709,7 @@ std::uint64_t Hypervisor::Hypercall(VcpuId v, HypercallCode code,
   Vcpu& vc = vcpu(v);
   const hw::CpuId cpu = (vc.running_on >= 0) ? vc.running_on : vc.pinned_cpu;
   hw::Cpu& c = platform_.cpu(cpu);
-  c_hypercalls_->Inc();
+  c_hypercalls_.Inc();
 
   vc.inflight.active = true;
   vc.inflight.is_syscall = false;
@@ -708,7 +723,10 @@ std::uint64_t Hypervisor::Hypercall(VcpuId v, HypercallCode code,
 
   OpContext ctx(platform_, c, config_.runtime, HvContextKind::kHypercall, &vc,
                 &vc.inflight.undo);
-  CtxSpan span(*this, ctx, "hypercall:" + std::string(HypercallName(code)),
+  CtxSpan span(*this, ctx,
+               span_hypercall_[static_cast<std::size_t>(code) < span_hypercall_.size()
+                                   ? static_cast<std::size_t>(code)
+                                   : 0],
                cpu);
   NLH_RECORD(forensics::EventKind::kHypercallEnter, cpu,
              static_cast<std::uint64_t>(code), static_cast<std::uint64_t>(v),
@@ -728,7 +746,7 @@ void Hypervisor::ForwardedSyscall(VcpuId v, std::uint64_t sysno) {
   Vcpu& vc = vcpu(v);
   const hw::CpuId cpu = (vc.running_on >= 0) ? vc.running_on : vc.pinned_cpu;
   hw::Cpu& c = platform_.cpu(cpu);
-  c_syscall_forwards_->Inc();
+  c_syscall_forwards_.Inc();
 
   vc.inflight.active = true;
   vc.inflight.is_syscall = true;
@@ -755,7 +773,7 @@ std::uint64_t Hypervisor::VmExit(VcpuId v, VmExitReason reason,
   Vcpu& vc = vcpu(v);
   const hw::CpuId cpu = (vc.running_on >= 0) ? vc.running_on : vc.pinned_cpu;
   hw::Cpu& c = platform_.cpu(cpu);
-  c_hypercalls_->Inc();  // counted with hypercalls (hypervisor entries)
+  c_hypercalls_.Inc();  // counted with hypercalls (hypervisor entries)
 
   vc.inflight.active = true;
   vc.inflight.is_syscall = false;
@@ -837,7 +855,7 @@ void Hypervisor::ExecuteRetry(hw::CpuId cpu, Vcpu& vc) {
 // ---------------------------------------------------------------------------
 
 void Hypervisor::ReportError(DetectionEvent event) {
-  c_detections_->Inc();
+  c_detections_.Inc();
   if (event.when == 0) event.when = Now();
   tracer_.Instant(std::string("detect:") + DetectionKindName(event.kind),
                   event.cpu, event.when);
@@ -906,7 +924,7 @@ void Hypervisor::OnNmi(hw::CpuId cpu) {
 
 void Hypervisor::FreezeForRecovery(hw::CpuId detector) {
   ++recovery_attempts_;
-  c_recoveries_->Inc();
+  c_recoveries_.Inc();
   tracer_.Instant("hv.freeze_for_recovery", detector, Now());
   platform_.log().Log(sim::LogLevel::kInfo, Now(), "recover",
                       "freezing all CPUs (detector cpu" +

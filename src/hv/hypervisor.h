@@ -8,6 +8,7 @@
 // (the detect/ layer), which invokes a recovery mechanism (recovery/).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -195,7 +196,7 @@ class Hypervisor {
   PerCpuData& percpu(hw::CpuId c) { return percpu_[static_cast<std::size_t>(c)]; }
   std::vector<Vcpu>& vcpus() { return vcpus_; }
   Vcpu& vcpu(VcpuId v) { return vcpus_[static_cast<std::size_t>(v)]; }
-  std::map<DomainId, Domain>& domains() { return domains_; }
+  DomainTable& domains() { return domains_; }
   Domain* FindDomain(DomainId id);
   TimerHeap& timers(hw::CpuId c) { return *timers_[static_cast<std::size_t>(c)]; }
   // Snapshot of the core counters (see the metrics registry for the full,
@@ -320,31 +321,37 @@ class Hypervisor {
   PerCpuList percpu_;
   std::vector<std::unique_ptr<TimerHeap>> timers_;
   std::vector<Vcpu> vcpus_;
-  std::map<DomainId, Domain> domains_;
+  DomainTable domains_;
   DomainId next_domid_ = 0;
   std::map<hw::Vector, DeviceBinding> device_bindings_;
 
   ErrorHandler error_handler_;
   std::function<void(hw::CpuId)> nmi_hook_;
 
-  // Observability. Counter pointers are cached once in the constructor so
-  // hot paths bump them without a registry lookup. The RecorderScope
-  // installs this host's flight recorder as the thread-local current one
-  // for the lifetime of the Hypervisor (runs are single-threaded; campaigns
-  // use one Hypervisor per worker thread).
+  // Observability. Counter handles are resolved once in the constructor so
+  // hot paths bump them without a registry lookup, and span names used on
+  // hot paths (one per hypercall code, plus the scheduler and the timer
+  // softirq) are pre-interned so opening a span never builds a string.
+  // The RecorderScope installs this host's flight recorder as the
+  // thread-local current one for the lifetime of the Hypervisor (runs are
+  // single-threaded; campaigns use one Hypervisor per worker thread).
   sim::Tracer tracer_;
   sim::MetricsRegistry metrics_;
   forensics::FlightRecorder recorder_;
   forensics::RecorderScope recorder_scope_{&recorder_};
-  sim::Counter* c_hypercalls_ = nullptr;
-  sim::Counter* c_syscall_forwards_ = nullptr;
-  sim::Counter* c_interrupts_ = nullptr;
-  sim::Counter* c_schedules_ = nullptr;
-  sim::Counter* c_timer_softirqs_ = nullptr;
-  sim::Counter* c_idle_polls_ = nullptr;
-  sim::Counter* c_events_sent_ = nullptr;
-  sim::Counter* c_detections_ = nullptr;
-  sim::Counter* c_recoveries_ = nullptr;
+  sim::CounterHandle c_hypercalls_;
+  sim::CounterHandle c_syscall_forwards_;
+  sim::CounterHandle c_interrupts_;
+  sim::CounterHandle c_schedules_;
+  sim::CounterHandle c_timer_softirqs_;
+  sim::CounterHandle c_idle_polls_;
+  sim::CounterHandle c_events_sent_;
+  sim::CounterHandle c_detections_;
+  sim::CounterHandle c_recoveries_;
+  std::array<sim::NameId, kNumHypercalls> span_hypercall_{};
+  sim::NameId span_schedule_ = 0;
+  sim::NameId span_timer_softirq_ = 0;
+  friend class CtxSpan;
 
   bool booted_ = false;
   bool frozen_ = false;

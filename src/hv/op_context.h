@@ -70,10 +70,13 @@ class OpContext {
   // Write-ahead undo record for a critical variable (Section IV). The
   // `restore` closure must capture the OLD value. Costs normal-operation
   // instructions only when undo logging is compiled in — this is the
-  // NiLiHype-vs-NiLiHype* overhead of Figure 3.
-  void LogUndo(std::function<void()> restore) {
+  // NiLiHype-vs-NiLiHype* overhead of Figure 3. Templated so the closure
+  // goes straight into the undo log's SmallFn storage (no std::function
+  // materialization on the hypercall hot path).
+  template <typename F>
+  void LogUndo(F&& restore) {
     if (!options_.undo_logging || undo_ == nullptr) return;
-    undo_->Record(std::move(restore));
+    undo_->Record(std::forward<F>(restore));
     Step(cost::kUndoLogRecord, "undo-log");
   }
 

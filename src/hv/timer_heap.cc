@@ -62,7 +62,9 @@ bool TimerHeap::PopExpired(sim::Time now, SoftTimer* out) {
   // would compute a bogus APIC delta and trip an assertion here.
   HvAssert(top.deadline >= 0, "timer heap entry has corrupt deadline");
   if (top.deadline > now) return false;
-  *out = entries_.front();
+  // Move, not copy: the entry's name string and callback are handed to the
+  // caller; the heap slot is about to be overwritten anyway.
+  *out = std::move(entries_.front());
   NLH_RECORD(forensics::EventKind::kTimerFire, cpu_,
              static_cast<std::uint64_t>(out->deadline), 0, out->name);
   entries_.front() = std::move(entries_.back());

@@ -6,17 +6,26 @@
 // every logged variable — restoring an old value is idempotent, so it is
 // safe whether or not the guarded mutation actually executed before the
 // thread was abandoned.
+//
+// Records are sim::SmallFn, not std::function: every mmu_update logs one
+// or two records, and the restore lambdas capture a couple of pointers
+// plus an old value — inside SmallFn's inline buffer, so the hypercall
+// hot path never allocates for undo logging (the record vector's capacity
+// is retained across hypercalls by Clear()).
 #pragma once
 
-#include <functional>
+#include <utility>
 #include <vector>
+
+#include "sim/small_fn.h"
 
 namespace nlh::hv {
 
 class UndoLog {
  public:
-  void Record(std::function<void()> restore_old_value) {
-    records_.push_back(std::move(restore_old_value));
+  template <typename F>
+  void Record(F&& restore_old_value) {
+    records_.emplace_back(std::forward<F>(restore_old_value));
   }
 
   // Replays records newest-first and clears the log.
@@ -32,7 +41,7 @@ class UndoLog {
   std::size_t size() const { return records_.size(); }
 
  private:
-  std::vector<std::function<void()>> records_;
+  std::vector<sim::SmallFn> records_;
 };
 
 }  // namespace nlh::hv

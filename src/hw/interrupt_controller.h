@@ -8,7 +8,7 @@
 // interrupts" during recovery (Section III-B).
 #pragma once
 
-#include <bitset>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -48,7 +48,7 @@ class InterruptController {
   void Raise(CpuId cpu, Vector v) {
     NLH_RECORD(forensics::EventKind::kIrqRaise, cpu,
                static_cast<std::uint64_t>(v));
-    percpu_[cpu].irr.set(static_cast<std::size_t>(v));
+    percpu_[cpu].irr.set(v);
     if (wake_) wake_(cpu);
   }
 
@@ -56,11 +56,9 @@ class InterruptController {
     if (nmi_handler_) nmi_handler_(cpu);
   }
 
-  bool Pending(CpuId cpu, Vector v) const {
-    return percpu_[cpu].irr.test(static_cast<std::size_t>(v));
-  }
+  bool Pending(CpuId cpu, Vector v) const { return percpu_[cpu].irr.test(v); }
   bool InService(CpuId cpu, Vector v) const {
-    return percpu_[cpu].isr.test(static_cast<std::size_t>(v));
+    return percpu_[cpu].isr.test(v);
   }
   bool AnyPending(CpuId cpu) const { return percpu_[cpu].irr.any(); }
   bool AnyInService(CpuId cpu) const { return percpu_[cpu].isr.any(); }
@@ -70,60 +68,71 @@ class InterruptController {
   // hypervisor checks that separately.
   Vector NextDeliverable(CpuId cpu) const {
     const PerCpu& s = percpu_[cpu];
-    const int isr_prio = HighestPriority(s.isr);
-    for (int v = kNumVectors - 1; v >= 0; --v) {
-      if (!s.irr.test(static_cast<std::size_t>(v))) continue;
-      if ((v >> 4) > isr_prio) return v;
-      return -1;  // highest pending vector is masked; nothing deliverable
-    }
-    return -1;
+    const int top = s.irr.highest();  // the common case (empty IRR) is 4 loads
+    if (top < 0) return -1;
+    if ((top >> 4) > HighestPriority(s.isr)) return top;
+    return -1;  // highest pending vector is masked; nothing deliverable
   }
 
   // Accepts `v`: IRR -> ISR. Caller must have obtained v from
   // NextDeliverable.
   void Accept(CpuId cpu, Vector v) {
-    percpu_[cpu].irr.reset(static_cast<std::size_t>(v));
-    percpu_[cpu].isr.set(static_cast<std::size_t>(v));
+    percpu_[cpu].irr.reset(v);
+    percpu_[cpu].isr.set(v);
   }
 
   // End-of-interrupt: retires the highest-priority in-service vector.
   void Eoi(CpuId cpu) {
     PerCpu& s = percpu_[cpu];
-    for (int v = kNumVectors - 1; v >= 0; --v) {
-      if (s.isr.test(static_cast<std::size_t>(v))) {
-        s.isr.reset(static_cast<std::size_t>(v));
-        return;
-      }
-    }
+    const int v = s.isr.highest();
+    if (v >= 0) s.isr.reset(v);
   }
 
   // Recovery enhancement: acknowledge (clear) everything pending and
   // in-service on a CPU.
   void AckAll(CpuId cpu) {
-    percpu_[cpu].irr.reset();
-    percpu_[cpu].isr.reset();
+    percpu_[cpu].irr.reset_all();
+    percpu_[cpu].isr.reset_all();
   }
 
   // Full reset of controller state (performed by ReHype's hardware
   // re-initialization).
   void ResetAll() {
     for (PerCpu& s : percpu_) {
-      s.irr.reset();
-      s.isr.reset();
+      s.irr.reset_all();
+      s.isr.reset_all();
     }
   }
 
  private:
-  struct PerCpu {
-    std::bitset<kNumVectors> irr;
-    std::bitset<kNumVectors> isr;
+  // 256-bit vector bitmap scanned word-wise: NextDeliverable sits on the
+  // per-slice hot path and is almost always looking at an empty IRR, which
+  // a std::bitset would answer with a 256-iteration bit scan.
+  struct VectorSet {
+    std::uint64_t w[kNumVectors / 64] = {};
+
+    void set(Vector v) { w[v >> 6] |= 1ULL << (v & 63); }
+    void reset(Vector v) { w[v >> 6] &= ~(1ULL << (v & 63)); }
+    bool test(Vector v) const { return (w[v >> 6] >> (v & 63)) & 1ULL; }
+    bool any() const { return (w[0] | w[1] | w[2] | w[3]) != 0; }
+    void reset_all() { w[0] = w[1] = w[2] = w[3] = 0; }
+    // Highest set vector, or -1 if empty.
+    int highest() const {
+      for (int i = kNumVectors / 64 - 1; i >= 0; --i) {
+        if (w[i] != 0) return (i << 6) | (63 - std::countl_zero(w[i]));
+      }
+      return -1;
+    }
   };
 
-  static int HighestPriority(const std::bitset<kNumVectors>& set) {
-    for (int v = kNumVectors - 1; v >= 0; --v) {
-      if (set.test(static_cast<std::size_t>(v))) return v >> 4;
-    }
-    return -1;
+  struct PerCpu {
+    VectorSet irr;
+    VectorSet isr;
+  };
+
+  static int HighestPriority(const VectorSet& set) {
+    const int v = set.highest();
+    return v < 0 ? -1 : v >> 4;
   }
 
   std::vector<PerCpu> percpu_;

@@ -197,9 +197,9 @@ void ApplyCorruptionTo(hv::Hypervisor& hv, CorruptionTarget target,
     case CorruptionTarget::kDomainStruct: {
       auto& domains = hv.domains();
       if (domains.empty()) return;
-      auto it = domains.begin();
-      std::advance(it, static_cast<std::ptrdiff_t>(rng.Index(domains.size())));
-      it->second.struct_corrupted = true;
+      // Index in id order: identical pick to the old advance(begin, k) over
+      // the id-sorted map, so injection plans stay seed-deterministic.
+      domains.at_index(rng.Index(domains.size())).struct_corrupted = true;
       return;
     }
     case CorruptionTarget::kPrivVmState:

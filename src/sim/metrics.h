@@ -2,15 +2,20 @@
 // ad-hoc stat-struct field twiddling. One registry per simulated host
 // (campaigns parallelize across runs, each with its own registry), so no
 // atomics are needed. Metric objects are owned by the registry and their
-// addresses are stable — hot paths cache a pointer once and bump it
-// without a map lookup.
+// addresses are stable — hot paths resolve a handle (or cache a pointer)
+// once and bump it without a map lookup.
+//
+// Name lookup is an unordered_map (resolution happens at setup time, not
+// on the hot path); deterministic field order is imposed only at JSON
+// export, by sorting the names then.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/json.h"
@@ -83,6 +88,48 @@ class Histogram {
   std::vector<double> samples_;
 };
 
+// Pre-resolved handles: resolve once at setup (MetricsRegistry::*HandleFor),
+// then the hot path is a single pointer dereference. A default-constructed
+// handle is inert (valid() == false); using an invalid handle is UB, so
+// hot-path call sites resolve in their constructor.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  explicit CounterHandle(Counter* c) : c_(c) {}
+  void Inc(std::uint64_t delta = 1) { c_->Inc(delta); }
+  std::uint64_t value() const { return c_->value(); }
+  bool valid() const { return c_ != nullptr; }
+  Counter* get() const { return c_; }
+
+ private:
+  Counter* c_ = nullptr;
+};
+
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  explicit GaugeHandle(Gauge* g) : g_(g) {}
+  void Set(double v) { g_->Set(v); }
+  void Add(double delta) { g_->Add(delta); }
+  bool valid() const { return g_ != nullptr; }
+  Gauge* get() const { return g_; }
+
+ private:
+  Gauge* g_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  explicit HistogramHandle(Histogram* h) : h_(h) {}
+  void Observe(double v) { h_->Observe(v); }
+  bool valid() const { return h_ != nullptr; }
+  Histogram* get() const { return h_; }
+
+ private:
+  Histogram* h_ = nullptr;
+};
+
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name) {
@@ -101,6 +148,16 @@ class MetricsRegistry {
     return *slot;
   }
 
+  CounterHandle CounterHandleFor(const std::string& name) {
+    return CounterHandle(&GetCounter(name));
+  }
+  GaugeHandle GaugeHandleFor(const std::string& name) {
+    return GaugeHandle(&GetGauge(name));
+  }
+  HistogramHandle HistogramHandleFor(const std::string& name) {
+    return HistogramHandle(&GetHistogram(name));
+  }
+
   const Counter* FindCounter(const std::string& name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? nullptr : it->second.get();
@@ -111,27 +168,31 @@ class MetricsRegistry {
   }
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
+  // Field order is deterministic: names are sorted at export time (the
+  // live maps are unordered; nothing ordered is maintained on the
+  // registration path).
   std::string ToJson() const {
     std::string out = "{\"counters\":{";
     bool first = true;
-    for (const auto& [name, c] : counters_) {
+    for (const auto* kv : SortedByName(counters_)) {
       if (!first) out += ",";
       first = false;
-      out += JsonStr(name) + ":" + std::to_string(c->value());
+      out += JsonStr(kv->first) + ":" + std::to_string(kv->second->value());
     }
     out += "},\"gauges\":{";
     first = true;
-    for (const auto& [name, g] : gauges_) {
+    for (const auto* kv : SortedByName(gauges_)) {
       if (!first) out += ",";
       first = false;
-      out += JsonStr(name) + ":" + JsonNum(g->value());
+      out += JsonStr(kv->first) + ":" + JsonNum(kv->second->value());
     }
     out += "},\"histograms\":{";
     first = true;
-    for (const auto& [name, h] : histograms_) {
+    for (const auto* kv : SortedByName(histograms_)) {
       if (!first) out += ",";
       first = false;
-      out += JsonStr(name) + ":{\"count\":" + std::to_string(h->count()) +
+      const Histogram* h = kv->second.get();
+      out += JsonStr(kv->first) + ":{\"count\":" + std::to_string(h->count()) +
              ",\"sum\":" + JsonNum(h->sum()) +
              ",\"min\":" + JsonNum(h->min()) +
              ",\"max\":" + JsonNum(h->max()) +
@@ -144,10 +205,21 @@ class MetricsRegistry {
   }
 
  private:
-  // std::map: deterministic JSON field order; unique_ptr: stable addresses.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  template <typename M>
+  static std::vector<const typename M::value_type*> SortedByName(const M& m) {
+    std::vector<const typename M::value_type*> out;
+    out.reserve(m.size());
+    for (const auto& kv : m) out.push_back(&kv);
+    std::sort(out.begin(), out.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    return out;
+  }
+
+  // unordered_map: O(1) name resolution at setup; unique_ptr: stable
+  // addresses for handles and cached pointers.
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace nlh::sim

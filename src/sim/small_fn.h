@@ -1,0 +1,116 @@
+// Move-only callable wrapper with small-buffer optimization, used where
+// std::function's copy requirement and 16-byte inline budget cost real
+// throughput: event-queue callbacks and hypercall undo records, both of
+// which capture a handful of pointers/words and are invoked exactly once
+// per schedule on the simulation hot path.
+//
+// Callables up to kInlineSize bytes (and with a no-throw move) live inside
+// the wrapper; larger ones fall back to a single heap allocation. The
+// wrapper is relocated with the target's move constructor via a static
+// ops table (invoke / relocate / destroy), so moving a SmallFn never
+// allocates and invoking it is one indirect call.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nlh::sim {
+
+class SmallFn {
+ public:
+  // Large enough for a lambda capturing six pointer-sized words, which
+  // covers every callback the simulator schedules (verified by the
+  // static_assert idiom at hot call sites growing past this: they simply
+  // spill to the heap, they do not fail to compile).
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s) { (*static_cast<Fn*>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) {
+        Fn* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      /*destroy=*/[](void* s) { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s) { (**static_cast<Fn**>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      /*destroy=*/[](void* s) { delete *static_cast<Fn**>(s); },
+  };
+
+  void MoveFrom(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace nlh::sim

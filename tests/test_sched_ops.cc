@@ -19,7 +19,7 @@ struct SchedFixture : ::testing::Test {
       vc.domain = v;
       vc.pinned_cpu = v % 4;
       vc.state = VcpuState::kRunnable;
-      vcpus.push_back(vc);
+      vcpus.push_back(std::move(vc));
     }
   }
   PerCpuList pcpus;
@@ -143,7 +143,7 @@ TEST_P(SchedRepairFuzz, RepairAlwaysConverges) {
     vc.id = v;
     vc.pinned_cpu = static_cast<hw::CpuId>(v % 8);
     vc.state = VcpuState::kRunnable;
-    vcpus.push_back(vc);
+    vcpus.push_back(std::move(vc));
   }
   // Start from a sane state, then scramble everything.
   for (Vcpu& vc : vcpus) {

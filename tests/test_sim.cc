@@ -1,10 +1,15 @@
 // Unit tests for the discrete-event core (sim/).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/rng.h"
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace nlh::sim {
@@ -110,6 +115,216 @@ TEST(EventQueueTest, NextTimeSkipsCancelled) {
   q.ScheduleAt(25, [] {});
   q.Cancel(a);
   EXPECT_EQ(q.NextTime(), 25);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int ran = 0;
+  const EventId a = q.ScheduleAfter(10, [&] { ++ran; });
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_EQ(ran, 1);
+  // The event already fired: its id is stale and cancelling it must not
+  // disturb anything scheduled later.
+  int later = 0;
+  q.ScheduleAfter(10, [&] { ++later; });
+  EXPECT_FALSE(q.Cancel(a));
+  q.RunAll();
+  EXPECT_EQ(later, 1);
+}
+
+TEST(EventQueueTest, StaleIdNeverCancelsRecycledSlot) {
+  EventQueue q;
+  const EventId a = q.ScheduleAfter(10, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  // The freed slot is recycled by the next schedule; the old id carries the
+  // old generation and must not cancel the new occupant.
+  int ran = 0;
+  const EventId b = q.ScheduleAfter(20, [&] { ++ran; });
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_NE(a, b);
+  q.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueueTest, FifoSurvivesInterleavedCancels) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(q.ScheduleAt(100, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event; the survivors must still run in schedule
+  // order even though cancellation recycles their pool slots.
+  for (int i = 0; i < 12; i += 3) {
+    EXPECT_TRUE(q.Cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  // New same-timestamp events (reusing freed slots) run after survivors.
+  q.ScheduleAt(100, [&order] { order.push_back(100); });
+  q.ScheduleAt(100, [&order] { order.push_back(101); });
+  q.RunAll();
+  EXPECT_EQ(order,
+            (std::vector<int>{1, 2, 4, 5, 7, 8, 10, 11, 100, 101}));
+}
+
+TEST(EventQueueTest, CancelThenRescheduleLikeApicOneShot) {
+  // The APIC timer pattern: Program() cancels the pending fire event and
+  // schedules a new one; only the latest programming may fire.
+  EventQueue q;
+  std::vector<Time> fired;
+  EventId pending = kInvalidEvent;
+  auto program = [&](Time deadline) {
+    q.Cancel(pending);
+    pending = q.ScheduleAt(deadline, [&] { fired.push_back(q.Now()); });
+  };
+  program(100);
+  program(50);   // reprogram earlier
+  program(200);  // reprogram later
+  q.RunAll();
+  EXPECT_EQ(fired, (std::vector<Time>{200}));
+  // Reprogramming after the fire starts a fresh cycle.
+  program(300);
+  q.RunAll();
+  EXPECT_EQ(fired, (std::vector<Time>{200, 300}));
+}
+
+TEST(EventQueueTest, NoCallbackCopiesOnHotPath) {
+  // Schedule/pop must move the callback, never copy it (the pre-pool
+  // implementation copied the std::function out of the heap on every pop).
+  struct CopyCounter {
+    int* copies;
+    int* runs;
+    CopyCounter(int* c, int* r) : copies(c), runs(r) {}
+    CopyCounter(const CopyCounter& o) : copies(o.copies), runs(o.runs) {
+      ++*copies;
+    }
+    CopyCounter(CopyCounter&& o) noexcept : copies(o.copies), runs(o.runs) {}
+    void operator()() const { ++*runs; }
+  };
+  int copies = 0, runs = 0;
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) {
+    q.ScheduleAfter(i, CopyCounter(&copies, &runs));
+  }
+  q.RunAll();
+  EXPECT_EQ(runs, 64);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(EventQueueTest, StorageRecyclingPreservesBehavior) {
+  // Releasing a queue's buffers and adopting them into a new queue must not
+  // leak callbacks or change scheduling behavior (core::RunArena pattern).
+  EventQueue::Storage storage;
+  for (int round = 0; round < 3; ++round) {
+    EventQueue q(std::move(storage));
+    std::vector<int> order;
+    EventId cancelled = kInvalidEvent;
+    for (int i = 0; i < 32; ++i) {
+      const EventId id =
+          q.ScheduleAfter(10 * (i % 7), [&order, i] { order.push_back(i); });
+      if (i == 13) cancelled = id;
+    }
+    q.Cancel(cancelled);
+    q.RunAll();
+    EXPECT_EQ(order.size(), 31u) << "round " << round;
+    storage = q.ReleaseStorage();
+  }
+  EXPECT_GT(storage.slots.capacity(), 0u);
+}
+
+TEST(EventQueueTest, AdoptStorageAfterUseIsNoop) {
+  EventQueue donor;
+  donor.ScheduleAfter(1, [] {});
+  EventQueue::Storage s = donor.ReleaseStorage();
+
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAfter(5, [&] { ++ran; });
+  q.AdoptStorage(std::move(s));  // too late: must not drop the pending event
+  q.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+// Randomized property test: the pooled 4-ary-heap queue must execute the
+// exact sequence a reference model (ordered multimap + cancellation set)
+// prescribes, under a random mix of schedules and cancels.
+TEST(EventQueueTest, RandomizedAgainstReferenceModel) {
+  Rng rng(0xc0ffee);
+  EventQueue q;
+
+  // Reference model: events keyed by (when, schedule order).
+  std::map<std::pair<Time, std::uint64_t>, int> model;
+  std::set<int> model_cancelled;
+  std::map<std::uint64_t, std::pair<EventId, std::pair<Time, std::uint64_t>>>
+      live;  // schedule order -> (queue id, model key)
+  std::uint64_t next_tag = 0;
+  std::vector<int> got;
+
+  auto schedule = [&](Time when, int payload) {
+    const std::uint64_t tag = next_tag++;
+    const EventId id = q.ScheduleAt(when, [&got, payload] {
+      got.push_back(payload);
+    });
+    const std::pair<Time, std::uint64_t> key{when < q.Now() ? q.Now() : when,
+                                             tag};
+    model.emplace(key, payload);
+    live.emplace(tag, std::make_pair(id, key));
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.Uniform();
+    if (roll < 0.55 || live.empty()) {
+      schedule(q.Now() + static_cast<Time>(rng.Range(0, 50)),
+               static_cast<int>(step));
+    } else if (roll < 0.75) {
+      // Cancel a random live event; queue and model must agree it existed.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Index(live.size())));
+      EXPECT_TRUE(q.Cancel(it->second.first));
+      model.erase(it->second.second);
+      live.erase(it);
+    } else {
+      // Run one event; expected payload is the model's earliest entry.
+      if (!model.empty()) {
+        const int expect = model.begin()->second;
+        live.erase(model.begin()->first.second);
+        model.erase(model.begin());
+        ASSERT_TRUE(q.RunOne());
+        ASSERT_EQ(got.back(), expect) << "step " << step;
+      }
+    }
+  }
+  // Drain: remaining events run in model order.
+  while (!model.empty()) {
+    const int expect = model.begin()->second;
+    model.erase(model.begin());
+    ASSERT_TRUE(q.RunOne());
+    ASSERT_EQ(got.back(), expect);
+  }
+  EXPECT_FALSE(q.RunOne());
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SmallFnTest, InlineAndHeapCallablesWork) {
+  // Small capture: stored inline; big capture: heap fallback. Both must
+  // survive moves and run exactly once.
+  int hits = 0;
+  SmallFn small([&hits] { ++hits; });
+  SmallFn moved = std::move(small);
+  EXPECT_FALSE(static_cast<bool>(small));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(hits, 1);
+
+  struct Big {
+    char pad[128] = {};
+    int* out;
+    explicit Big(int* o) : out(o) {}
+    void operator()() const { ++*out; }
+  };
+  SmallFn big{Big(&hits)};
+  SmallFn big_moved = std::move(big);
+  big_moved();
+  EXPECT_EQ(hits, 2);
 }
 
 TEST(RngTest, DeterministicForSeed) {
