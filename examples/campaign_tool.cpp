@@ -35,10 +35,31 @@
 //                    collapsed-stack profile of the simulated time.
 // --profile-out=F    write the collapsed-stack profile of the replayed run
 //                    (with --replay, or of the seed0 replay otherwise).
+// Fuzzing (src/fuzz/):
+// --fuzz=N           run the scenario fuzzer for N scenarios (each evaluated
+//                    under NiLiHype, ReHype, and the no-recovery baseline by
+//                    the differential oracle); divergent scenarios are
+//                    shrunk to minimal reproducers.
+// --fuzz-seed=S      master seed of the fuzzing campaign (default 1; the
+//                    whole campaign is a pure function of it).
+// --threads=N        worker threads for campaigns and fuzzing (0 = auto).
+// --corpus=DIR       with --fuzz: write shrunk reproducers here. Without
+//                    --fuzz: corpus regression mode — replay every
+//                    reproducer in DIR and verify its recorded verdicts
+//                    byte-for-byte (exit 1 on any mismatch).
+// --shrink=FILE      re-shrink the scenario of an existing reproducer
+//                    bundle and report the minimal form (useful after
+//                    simulator changes).
+// --shrink-evals=N   oracle-evaluation budget per shrink (default 64).
+// --max-corpus=N     cap on reproducers emitted per fuzz run (default 16).
+// --replay also accepts a reproducer path: --replay=FILE.json re-evaluates
+// that scenario and prints the per-policy verdicts.
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -47,6 +68,9 @@
 #include "core/target_system.h"
 #include "forensics/dossier.h"
 #include "forensics/profiler.h"
+#include "fuzz/engine.h"
+#include "fuzz/shrinker.h"
+#include "sim/json.h"
 
 using namespace nlh;
 
@@ -60,6 +84,81 @@ bool WriteFile(const std::string& path, const std::string& content) {
   }
   out << content;
   return true;
+}
+
+void Usage() {
+  std::printf(
+      "usage: campaign_tool [options]\n"
+      "  campaign: [--mech=nilihype|rehype|none] [--fault=failstop|register|code]\n"
+      "            [--setup=1appvm|3appvm] [--bench=unix|blk|net] [--runs=N]\n"
+      "            [--seed=N] [--threads=N] [--audit] [--audit-out=FILE.json]\n"
+      "            [--trace-out=FILE.json] [--metrics-out=FILE.json]\n"
+      "            [--dossier-dir=DIR] [--profile-out=FILE.folded] [--verbose]\n"
+      "  replay:   --replay=RUN_ID | --replay=REPRO.json\n"
+      "  fuzzing:  --fuzz=N [--fuzz-seed=S] [--threads=N] [--corpus=DIR]\n"
+      "            [--shrink-evals=N] [--max-corpus=N]\n"
+      "  corpus:   --corpus=DIR  (without --fuzz: replay every reproducer in\n"
+      "            DIR and verify its recorded verdicts byte-for-byte)\n"
+      "  shrink:   --shrink=REPRO.json [--shrink-evals=N]\n"
+      "see the header comment of examples/campaign_tool.cpp for details\n");
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+void PrintVerdicts(const fuzz::OracleOutcome& o) {
+  for (const fuzz::PolicyVerdict& v : o.verdicts) {
+    std::printf("  %-9s %s%s%s\n", core::MechanismName(v.mechanism),
+                core::OutcomeClassName(v.outcome),
+                v.detected ? (v.success ? " recovered" : " recovery-failed")
+                           : "",
+                v.latent_corruption ? " +latent-corruption" : "");
+  }
+  std::printf("divergence: %s%s%s\n",
+              fuzz::DivergenceKindName(o.divergence),
+              o.detail.empty() ? "" : " — ", o.detail.c_str());
+}
+
+// Corpus regression mode: replay every reproducer, byte-compare verdicts.
+int RunCorpusCheck(const std::string& dir, int threads) {
+  const std::vector<std::string> paths = fuzz::ListCorpus(dir);
+  std::printf("corpus check: %zu reproducer(s) under %s\n", paths.size(),
+              dir.c_str());
+  int failures = 0;
+  for (const std::string& path : paths) {
+    fuzz::LoadedReproducer rep;
+    std::string err;
+    if (!fuzz::LoadReproducer(path, &rep, &err)) {
+      std::printf("  LOAD-FAIL %s (%s)\n", path.c_str(), err.c_str());
+      ++failures;
+      continue;
+    }
+    const fuzz::OracleOutcome o = fuzz::EvaluateScenario(rep.scenario, threads);
+    bool ok = o.divergence == rep.divergence;
+    for (int i = 0; ok && i < fuzz::kNumPolicies; ++i) {
+      sim::JsonValue doc;
+      if (!sim::ParseJson(o.verdicts[static_cast<std::size_t>(i)].ToJson(),
+                          &doc) ||
+          sim::WriteJson(doc) !=
+              rep.expected_verdicts[static_cast<std::size_t>(i)]) {
+        ok = false;
+      }
+    }
+    std::printf("  %-8s %s\n", ok ? "OK" : "MISMATCH", path.c_str());
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::printf("corpus check FAILED: %d of %zu reproducer(s)\n", failures,
+                paths.size());
+    return 1;
+  }
+  std::printf("corpus check passed\n");
+  return 0;
 }
 
 }  // namespace
@@ -78,6 +177,13 @@ int main(int argc, char** argv) {
   std::string profile_out;
   bool replay_mode = false;
   std::uint64_t replay_id = 0;
+  std::string replay_path;   // --replay=<reproducer.json>
+  int fuzz_iterations = 0;   // --fuzz=N (0 = fuzzing off)
+  std::uint64_t fuzz_seed = 1;
+  std::string corpus_dir;
+  std::string shrink_path;
+  int shrink_evals = 64;
+  int max_corpus = 16;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,16 +223,111 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--dossier-dir=", 0) == 0) {
       dossier_dir = val("--dossier-dir=");
     } else if (arg.rfind("--replay=", 0) == 0) {
-      replay_mode = true;
-      replay_id = static_cast<std::uint64_t>(std::atoll(val("--replay=")));
+      const std::string what = val("--replay=");
+      if (AllDigits(what)) {
+        replay_mode = true;
+        replay_id = static_cast<std::uint64_t>(std::atoll(what.c_str()));
+      } else {
+        replay_path = what;
+      }
     } else if (arg.rfind("--profile-out=", 0) == 0) {
       profile_out = val("--profile-out=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts.threads = std::atoi(val("--threads="));
+    } else if (arg.rfind("--fuzz=", 0) == 0) {
+      fuzz_iterations = std::atoi(val("--fuzz="));
+    } else if (arg.rfind("--fuzz-seed=", 0) == 0) {
+      fuzz_seed = static_cast<std::uint64_t>(std::atoll(val("--fuzz-seed=")));
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = val("--corpus=");
+    } else if (arg.rfind("--shrink=", 0) == 0) {
+      shrink_path = val("--shrink=");
+    } else if (arg.rfind("--shrink-evals=", 0) == 0) {
+      shrink_evals = std::atoi(val("--shrink-evals="));
+    } else if (arg.rfind("--max-corpus=", 0) == 0) {
+      max_corpus = std::atoi(val("--max-corpus="));
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
-      std::printf("unknown flag %s (see header comment)\n", arg.c_str());
+      std::printf("unknown flag %s\n", arg.c_str());
+      Usage();
       return 2;
     }
+  }
+
+  // --- Fuzzing / corpus / reproducer modes (src/fuzz/) ----------------------
+  if (!replay_path.empty()) {
+    fuzz::LoadedReproducer rep;
+    std::string err;
+    if (!fuzz::LoadReproducer(replay_path, &rep, &err)) {
+      std::printf("cannot replay %s: %s\n", replay_path.c_str(), err.c_str());
+      Usage();
+      return 2;
+    }
+    std::printf("replaying reproducer %s (%s, %d plan elements)\n",
+                replay_path.c_str(), fuzz::DivergenceKindName(rep.divergence),
+                rep.scenario.PlanElementCount());
+    const fuzz::OracleOutcome o =
+        fuzz::EvaluateScenario(rep.scenario, opts.threads);
+    PrintVerdicts(o);
+    return o.divergence == rep.divergence ? 0 : 1;
+  }
+  if (!shrink_path.empty()) {
+    fuzz::LoadedReproducer rep;
+    std::string err;
+    if (!fuzz::LoadReproducer(shrink_path, &rep, &err)) {
+      std::printf("cannot shrink %s: %s\n", shrink_path.c_str(), err.c_str());
+      Usage();
+      return 2;
+    }
+    const fuzz::OracleOutcome before =
+        fuzz::EvaluateScenario(rep.scenario, opts.threads);
+    if (before.divergence != rep.divergence) {
+      std::printf("scenario no longer shows %s (now %s) — nothing to shrink\n",
+                  fuzz::DivergenceKindName(rep.divergence),
+                  fuzz::DivergenceKindName(before.divergence));
+      return 1;
+    }
+    const fuzz::ShrinkResult shrunk = fuzz::ShrinkScenario(
+        rep.scenario, rep.divergence,
+        [&opts](const fuzz::Scenario& s) {
+          return fuzz::EvaluateScenario(s, opts.threads);
+        },
+        shrink_evals);
+    std::printf("shrunk to %d plan element(s) in %d eval(s):\n%s\n",
+                shrunk.scenario.PlanElementCount(), shrunk.evals,
+                shrunk.scenario.ToJson().c_str());
+    return 0;
+  }
+  if (fuzz_iterations > 0) {
+    fuzz::FuzzOptions fopts;
+    fopts.master_seed = fuzz_seed;
+    fopts.iterations = fuzz_iterations;
+    fopts.threads = opts.threads;
+    fopts.max_shrink_evals = shrink_evals;
+    fopts.max_corpus = max_corpus;
+    fopts.corpus_dir = corpus_dir;
+    fopts.on_progress = [](const std::string& line) {
+      std::printf("  %s\n", line.c_str());
+    };
+    std::printf("fuzzing: %d scenarios (master seed %llu)\n", fuzz_iterations,
+                static_cast<unsigned long long>(fuzz_seed));
+    const fuzz::FuzzStats stats = fuzz::Fuzz(fopts);
+    std::printf(
+        "\nfuzzing done: %d scenarios, coverage %zu (hash %016llx), "
+        "%d divergent (%d unique), %zu reproducer(s), %d shrink eval(s)\n",
+        stats.scenarios, stats.coverage,
+        static_cast<unsigned long long>(stats.coverage_hash), stats.divergent,
+        stats.unique_divergent, stats.reproducers.size(), stats.shrink_evals);
+    return 0;
+  }
+  if (!corpus_dir.empty()) {
+    if (!std::filesystem::is_directory(corpus_dir)) {
+      std::printf("corpus directory %s does not exist\n", corpus_dir.c_str());
+      Usage();
+      return 2;
+    }
+    return RunCorpusCheck(corpus_dir, opts.threads);
   }
 
   if (one_appvm) {

@@ -127,25 +127,23 @@ std::string CampaignResult::ToJson() const {
   return out;
 }
 
-CampaignResult RunCampaign(const RunConfig& config,
-                           const CampaignOptions& options) {
-  CampaignResult result;
-  result.runs = options.runs;
-
+std::vector<RunResult> RunMany(
+    const std::vector<RunConfig>& configs, int threads,
+    const std::function<void(int, const RunResult&)>& on_run) {
+  const int total = static_cast<int>(configs.size());
   // Workers only *collect* per-run results, each into its own slot; all
-  // aggregation happens after the join, in run-index order. This makes the
-  // campaign result — including first-observed phase order and audit
-  // tallies — bit-identical regardless of thread count or scheduling.
-  std::vector<RunResult> run_results(
-      static_cast<std::size_t>(std::max(options.runs, 0)));
+  // aggregation happens after the join, in index order. This makes every
+  // consumer — campaign aggregates, fuzz coverage maps — bit-identical
+  // regardless of thread count or scheduling.
+  std::vector<RunResult> run_results(static_cast<std::size_t>(total));
   std::mutex mu;  // serializes on_run only
   std::atomic<int> next{0};
 
-  int nthreads = options.threads > 0
-                     ? options.threads
+  int nthreads = threads > 0
+                     ? threads
                      : static_cast<int>(std::thread::hardware_concurrency());
   if (nthreads <= 0) nthreads = 4;
-  nthreads = std::min(nthreads, options.runs);
+  nthreads = std::min(nthreads, total);
 
   auto worker = [&] {
     // One arena per worker: event-queue buffers are recycled across this
@@ -153,22 +151,36 @@ CampaignResult RunCampaign(const RunConfig& config,
     RunArena arena;
     while (true) {
       const int i = next.fetch_add(1);
-      if (i >= options.runs) return;
-      RunConfig cfg = config;
-      cfg.seed = options.seed0 + static_cast<std::uint64_t>(i);
-      TargetSystem sys(cfg, &arena);
+      if (i >= total) return;
+      TargetSystem sys(configs[static_cast<std::size_t>(i)], &arena);
       run_results[static_cast<std::size_t>(i)] = sys.Run();
-      if (options.on_run) {
+      if (on_run) {
         std::lock_guard<std::mutex> lock(mu);
-        options.on_run(i, run_results[static_cast<std::size_t>(i)]);
+        on_run(i, run_results[static_cast<std::size_t>(i)]);
       }
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nthreads));
-  for (int t = 0; t < nthreads; ++t) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(std::max(nthreads, 0)));
+  for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return run_results;
+}
+
+CampaignResult RunCampaign(const RunConfig& config,
+                           const CampaignOptions& options) {
+  CampaignResult result;
+  result.runs = options.runs;
+
+  std::vector<RunConfig> configs(
+      static_cast<std::size_t>(std::max(options.runs, 0)), config);
+  for (int i = 0; i < options.runs; ++i) {
+    configs[static_cast<std::size_t>(i)].seed =
+        options.seed0 + static_cast<std::uint64_t>(i);
+  }
+  const std::vector<RunResult> run_results =
+      RunMany(configs, options.threads, options.on_run);
 
   std::map<FailureReason, int> reasons;
   // Phase samples in first-observed order (matches step execution order;

@@ -109,6 +109,15 @@ struct CampaignOptions {
   std::function<void(int /*index*/, const RunResult&)> on_run;
 };
 
+// Runs every config in `configs` once, in parallel (atomic work-stealing
+// index, one RunArena per worker), and returns results indexed like the
+// input. The result vector is bit-identical regardless of thread count —
+// this is the primitive the scenario fuzzer's differential oracle batches
+// heterogeneous configs through, and RunCampaign delegates to it.
+std::vector<RunResult> RunMany(
+    const std::vector<RunConfig>& configs, int threads,
+    const std::function<void(int, const RunResult&)>& on_run = {});
+
 // Runs `options.runs` independent runs of `config` (seeds seed0, seed0+1,
 // ...) in parallel and aggregates.
 CampaignResult RunCampaign(const RunConfig& config,

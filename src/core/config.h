@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "guest/appvm.h"
 #include "hv/hypervisor.h"
 #include "hw/platform.h"
 #include "inject/corruption.h"
+#include "inject/injector.h"
 #include "recovery/enhancements.h"
 #include "recovery/latency_model.h"
 #include "sim/time.h"
@@ -64,6 +66,14 @@ struct RunConfig {
   inject::FaultType fault = inject::FaultType::kFailstop;
   sim::Time inject_window_start = sim::Milliseconds(300);
   sim::Time inject_window_end = sim::Milliseconds(1200);
+  // Scenario hooks (src/fuzz/): an optional trigger-event condition ("fire
+  // on the Nth grant op after the window position"), an exact level-2
+  // instruction count (-1 keeps the classic uniform 0..20000 draw), and
+  // silently planted latent corruptions. Defaults reproduce the paper's
+  // campaign behavior exactly.
+  inject::TriggerSpec inject_trigger;
+  std::int64_t inject_second_trigger = -1;
+  std::vector<inject::PlantSpec> inject_plants;
 
   std::uint64_t seed = 1;
 

@@ -84,6 +84,10 @@ struct RunResult {
   int injection_cpu = -1;
   inject::Manifestation manifestation = inject::Manifestation::kNone;
   std::vector<std::string> injection_corruptions;  // CorruptionTargetName
+  // Planted (silent) corruptions applied via InjectionPlan::plants; these
+  // fire independently of the two-level trigger and are recorded even when
+  // the fault itself never manifests.
+  std::vector<std::string> planted_corruptions;
   hv::DetectionEvent detection;                    // first detection, if any
   sim::Duration detection_latency = -1;            // injection→detection; -1 n/a
   forensics::DetectionClass detection_class =

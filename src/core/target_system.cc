@@ -138,7 +138,7 @@ void TargetSystem::Build() {
   // can fire (differential audit baseline).
   if (config_.audit) golden_ = audit::GoldenSnapshot::Capture(*hv_);
 
-  if (config_.inject) ArmInjection();
+  if (config_.inject || !config_.inject_plants.empty()) ArmInjection();
 
   // Campaign-agent-style watcher: once the first recovery has resumed,
   // create the post-recovery BlkBench VM (3AppVM setup, Section VI-A).
@@ -250,11 +250,16 @@ void TargetSystem::ArmInjection() {
                                                       config_.seed ^ 0x777);
   inject::InjectionPlan plan;
   plan.type = config_.fault;
+  plan.fault_enabled = config_.inject;
+  plan.trigger = config_.inject_trigger;
+  plan.plants = config_.inject_plants;
   plan.first_trigger = config_.inject_window_start +
                        run_rng_.Range(0, config_.inject_window_end -
                                              config_.inject_window_start);
   plan.second_trigger_instructions =
-      static_cast<std::uint64_t>(run_rng_.Range(0, 20000));
+      config_.inject_second_trigger >= 0
+          ? static_cast<std::uint64_t>(config_.inject_second_trigger)
+          : static_cast<std::uint64_t>(run_rng_.Range(0, 20000));
   injector_->Arm(plan);
 }
 
@@ -423,14 +428,20 @@ RunResult TargetSystem::Classify() {
     }
   }
   // Forensics: join injection ground truth with the first detection.
-  if (injector_ != nullptr && injector_->record().fired) {
+  if (injector_ != nullptr) {
     const inject::InjectionRecord& rec = injector_->record();
-    r.injection_fired = true;
-    r.injected_at = rec.fired_at;
-    r.injection_cpu = rec.cpu;
-    r.manifestation = rec.manifestation;
-    for (const inject::CorruptionTarget t : rec.corruptions) {
-      r.injection_corruptions.emplace_back(inject::CorruptionTargetName(t));
+    // Plants apply regardless of whether the two-level trigger ever fired.
+    for (const inject::CorruptionTarget t : rec.planted) {
+      r.planted_corruptions.emplace_back(inject::CorruptionTargetName(t));
+    }
+    if (rec.fired) {
+      r.injection_fired = true;
+      r.injected_at = rec.fired_at;
+      r.injection_cpu = rec.cpu;
+      r.manifestation = rec.manifestation;
+      for (const inject::CorruptionTarget t : rec.corruptions) {
+        r.injection_corruptions.emplace_back(inject::CorruptionTargetName(t));
+      }
     }
   }
   if (const hv::DetectionEvent* first = hv_->first_detection()) {

@@ -21,6 +21,8 @@ namespace {
 
 const char* Bool(bool b) { return b ? "true" : "false"; }
 
+}  // namespace
+
 std::string ConfigJson(const core::RunConfig& cfg) {
   std::string out = "{";
   out += "\"mechanism\":" + sim::JsonStr(core::MechanismName(cfg.mechanism));
@@ -32,7 +34,19 @@ std::string ConfigJson(const core::RunConfig& cfg) {
   out += ",\"audit\":" + std::string(Bool(cfg.audit));
   out += ",\"seed\":" + std::to_string(cfg.seed);
   out += ",\"num_cpus\":" + std::to_string(cfg.platform.num_cpus);
-  out += "}";
+  // Scenario hooks (defaults encode the classic campaign behavior).
+  out += ",\"trigger\":" +
+         sim::JsonStr(inject::TriggerKindName(cfg.inject_trigger.kind));
+  out += ",\"trigger_skip\":" + std::to_string(cfg.inject_trigger.skip);
+  out += ",\"second_trigger\":" + std::to_string(cfg.inject_second_trigger);
+  out += ",\"plants\":[";
+  for (std::size_t i = 0; i < cfg.inject_plants.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"target\":" +
+           sim::JsonStr(inject::CorruptionTargetName(cfg.inject_plants[i].target)) +
+           ",\"at_ns\":" + std::to_string(cfg.inject_plants[i].at) + "}";
+  }
+  out += "]}";
   return out;
 }
 
@@ -82,6 +96,11 @@ std::string InjectionJson(const core::RunResult& r) {
     if (i) out += ",";
     out += sim::JsonStr(r.injection_corruptions[i]);
   }
+  out += "],\"planted\":[";
+  for (std::size_t i = 0; i < r.planted_corruptions.size(); ++i) {
+    if (i) out += ",";
+    out += sim::JsonStr(r.planted_corruptions[i]);
+  }
   out += "]}";
   return out;
 }
@@ -95,8 +114,6 @@ std::string DetectionJson(const core::RunResult& r) {
          ",\"when_ns\":" + std::to_string(ev.when) +
          ",\"detail\":" + sim::JsonStr(ev.detail) + "}";
 }
-
-}  // namespace
 
 ReplayArtifacts ReplayRun(const core::RunConfig& base_cfg, std::uint64_t run_id,
                           const ReplayOptions& opts) {

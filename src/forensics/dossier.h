@@ -44,6 +44,14 @@ struct ReplayArtifacts {
   std::string profile;       // collapsed-stack cost-attribution profile
 };
 
+// Dossier JSON building blocks, exposed so other emitters (the scenario
+// fuzzer's minimal-reproducer bundles) can stay schema-compatible with
+// nlh-dossier-v1 instead of inventing parallel encodings.
+std::string ConfigJson(const core::RunConfig& cfg);
+std::string ResultJson(const core::RunResult& r);
+std::string InjectionJson(const core::RunResult& r);
+std::string DetectionJson(const core::RunResult& r);  // "null" if undetected
+
 // Deterministically re-executes run `run_id` of `base_cfg` (seed := run_id)
 // with the flight recorder + tracer enabled and assembles the artifacts.
 ReplayArtifacts ReplayRun(const core::RunConfig& base_cfg, std::uint64_t run_id,

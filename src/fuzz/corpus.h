@@ -1,0 +1,48 @@
+// Reproducer bundles and corpus management. A reproducer ("nlh-repro-v1")
+// records a shrunk scenario together with the divergence that flagged it
+// and the full per-policy verdicts; the corpus regression runner replays
+// the scenario and asserts the recomputed verdicts byte-for-byte. Each
+// bundle also embeds an nlh-dossier-v1-compatible replay section (the same
+// config/result/injection/detection JSON the forensics dossiers use) so
+// existing dossier tooling can read fuzz reproducers directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+
+namespace nlh::fuzz {
+
+inline constexpr const char* kReproSchema = "nlh-repro-v1";
+
+// Serializes one reproducer bundle. `results` are the three finished runs
+// in kPolicies order (they feed the dossier-compatible replay section).
+std::string ReproducerJson(const Scenario& s, const OracleOutcome& o,
+                           const core::RunResult results[kNumPolicies]);
+
+// Writes `dir/repro_<fingerprint>.json` (creating `dir` if needed).
+// Returns the written path, or "" on I/O failure.
+std::string WriteReproducer(const std::string& dir, const Scenario& s,
+                            const OracleOutcome& o,
+                            const core::RunResult results[kNumPolicies]);
+
+// Parsed reproducer, ready to re-run.
+struct LoadedReproducer {
+  Scenario scenario;
+  DivergenceKind divergence = DivergenceKind::kNone;
+  // Expected verdict JSON per policy, canonicalized via sim::WriteJson.
+  std::vector<std::string> expected_verdicts;
+};
+
+// Reads and validates one reproducer file. Returns false (with a message in
+// *error) on unreadable files, schema mismatches, or malformed scenarios.
+bool LoadReproducer(const std::string& path, LoadedReproducer* out,
+                    std::string* error);
+
+// All "*.json" files directly inside `dir`, lexicographically sorted.
+// Empty when the directory is missing or unreadable.
+std::vector<std::string> ListCorpus(const std::string& dir);
+
+}  // namespace nlh::fuzz

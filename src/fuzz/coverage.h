@@ -1,0 +1,36 @@
+// Coverage map: the set of behavior signatures observed so far. A fresh
+// signature is the generator's feedback — the scenario that produced it is
+// admitted to the mutation pool. Kept as an ordered set so the end-of-run
+// coverage hash folds signatures in a canonical order regardless of the
+// (thread-count-invariant, but batch-ordered) discovery sequence.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "fuzz/scenario.h"
+
+namespace nlh::fuzz {
+
+class CoverageMap {
+ public:
+  // Returns true when the signature is new coverage.
+  bool Add(std::uint64_t signature) { return sigs_.insert(signature).second; }
+  bool Contains(std::uint64_t signature) const {
+    return sigs_.count(signature) != 0;
+  }
+  std::size_t size() const { return sigs_.size(); }
+
+  // Order-canonical digest of the whole map (equal maps -> equal hash, any
+  // insertion order).
+  std::uint64_t Hash() const {
+    std::uint64_t h = kFnvOffset;
+    for (const std::uint64_t s : sigs_) h = FnvMix(h, s);
+    return h;
+  }
+
+ private:
+  std::set<std::uint64_t> sigs_;
+};
+
+}  // namespace nlh::fuzz

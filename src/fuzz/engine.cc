@@ -1,0 +1,138 @@
+#include "fuzz/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "fuzz/generator.h"
+#include "fuzz/shrinker.h"
+#include "sim/rng.h"
+
+namespace nlh::fuzz {
+
+namespace {
+
+// Mutation pool cap: enough diversity to steer, small enough that admission
+// stays cheap.
+constexpr std::size_t kPoolCap = 256;
+
+}  // namespace
+
+FuzzStats Fuzz(const FuzzOptions& options) {
+  FuzzStats stats;
+  sim::Rng rng(options.master_seed);
+  CoverageMap coverage;
+  std::vector<Scenario> pool;
+  std::vector<std::pair<Scenario, OracleOutcome>> flagged;
+  std::set<std::uint64_t> seen_divergences;
+
+  const auto progress = [&options](const std::string& line) {
+    if (options.on_progress) options.on_progress(line);
+  };
+
+  int done = 0;
+  while (done < options.iterations) {
+    const int b = std::min(options.batch > 0 ? options.batch : 1,
+                           options.iterations - done);
+    // Generation/mutation happens here, on the coordinating thread, in
+    // batch order — the only rng consumer. Workers below never draw.
+    std::vector<Scenario> batch;
+    batch.reserve(static_cast<std::size_t>(b));
+    for (int i = 0; i < b; ++i) {
+      if (pool.empty() || rng.Chance(0.35)) {
+        batch.push_back(GenerateScenario(rng));
+      } else {
+        batch.push_back(MutateScenario(pool[rng.Index(pool.size())], rng));
+      }
+    }
+    std::vector<core::RunConfig> configs;
+    configs.reserve(static_cast<std::size_t>(b) * kNumPolicies);
+    for (const Scenario& s : batch) {
+      const std::array<core::RunConfig, kNumPolicies> triple =
+          OracleConfigs(s);
+      configs.insert(configs.end(), triple.begin(), triple.end());
+    }
+    const std::vector<core::RunResult> results =
+        core::RunMany(configs, options.threads);
+
+    int fresh = 0;
+    for (int i = 0; i < b; ++i) {
+      const OracleOutcome o =
+          Judge(batch[static_cast<std::size_t>(i)],
+                &results[static_cast<std::size_t>(i) * kNumPolicies]);
+      ++stats.scenarios;
+      if (coverage.Add(o.coverage_signature)) {
+        ++fresh;
+        if (pool.size() < kPoolCap) {
+          pool.push_back(batch[static_cast<std::size_t>(i)]);
+        } else {
+          pool[rng.Index(pool.size())] = batch[static_cast<std::size_t>(i)];
+        }
+      }
+      if (o.divergence != DivergenceKind::kNone) {
+        ++stats.divergent;
+        if (seen_divergences.insert(o.divergence_signature).second) {
+          ++stats.unique_divergent;
+          flagged.emplace_back(batch[static_cast<std::size_t>(i)], o);
+          progress("divergence: " +
+                   std::string(DivergenceKindName(o.divergence)) + " — " +
+                   o.detail);
+        }
+      }
+    }
+    done += b;
+    progress("batch done: " + std::to_string(done) + "/" +
+             std::to_string(options.iterations) + " scenarios, coverage " +
+             std::to_string(coverage.size()) + " (+" + std::to_string(fresh) +
+             "), " + std::to_string(stats.unique_divergent) +
+             " unique divergences");
+  }
+
+  // Shrink phase: sequential over flagged scenarios in discovery order.
+  for (const auto& [scenario, outcome] : flagged) {
+    if (static_cast<int>(stats.reproducers.size()) >= options.max_corpus) {
+      progress("corpus cap reached; " +
+               std::to_string(flagged.size() - stats.reproducers.size()) +
+               " flagged scenario(s) not shrunk");
+      break;
+    }
+    const ScenarioEval eval = [&options](const Scenario& s) {
+      return EvaluateScenario(s, options.threads);
+    };
+    const ShrinkResult shrunk = ShrinkScenario(
+        scenario, outcome.divergence, eval, options.max_shrink_evals);
+    stats.shrink_evals += shrunk.evals;
+
+    // Final evaluation of the minimal form: its verdicts (not the original
+    // scenario's) are what the reproducer records and the corpus runner
+    // re-asserts.
+    const std::array<core::RunConfig, kNumPolicies> cfgs =
+        OracleConfigs(shrunk.scenario);
+    const std::vector<core::RunResult> results =
+        core::RunMany({cfgs.begin(), cfgs.end()}, options.threads);
+    const OracleOutcome final_outcome = Judge(shrunk.scenario, results.data());
+
+    FuzzReproducer rep;
+    rep.scenario = shrunk.scenario;
+    rep.kind = final_outcome.divergence;
+    rep.detail = final_outcome.detail;
+    rep.divergence_signature = final_outcome.divergence_signature;
+    rep.plan_elements = shrunk.scenario.PlanElementCount();
+    rep.shrink_evals = shrunk.evals;
+    if (!options.corpus_dir.empty()) {
+      rep.path = WriteReproducer(options.corpus_dir, shrunk.scenario,
+                                 final_outcome, results.data());
+    }
+    progress("shrunk " + std::string(DivergenceKindName(rep.kind)) + " to " +
+             std::to_string(rep.plan_elements) + " plan element(s) in " +
+             std::to_string(shrunk.evals) + " eval(s)" +
+             (rep.path.empty() ? "" : " -> " + rep.path));
+    stats.reproducers.push_back(std::move(rep));
+  }
+
+  stats.coverage = coverage.size();
+  stats.coverage_hash = coverage.Hash();
+  return stats;
+}
+
+}  // namespace nlh::fuzz

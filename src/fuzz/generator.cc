@@ -1,0 +1,149 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+
+namespace nlh::fuzz {
+
+namespace {
+
+std::int64_t ClampInjectAt(std::int64_t t) {
+  return std::clamp(t, kMinInjectAtNs, kMaxInjectAtNs);
+}
+
+inject::PlantSpec RandomPlant(sim::Rng& rng) {
+  inject::PlantSpec p;
+  p.target = static_cast<inject::CorruptionTarget>(
+      rng.Index(static_cast<std::size_t>(inject::CorruptionTarget::kCount)));
+  p.at = sim::Milliseconds(100 + rng.Range(0, 1500));
+  return p;
+}
+
+inject::TriggerKind RandomEventTrigger(sim::Rng& rng) {
+  // Any kind except kTime: index 1..kCount-1.
+  return static_cast<inject::TriggerKind>(
+      1 + rng.Range(0, static_cast<std::int64_t>(inject::TriggerKind::kCount) -
+                           2));
+}
+
+// A scenario with neither a fault nor a plant runs three identical healthy
+// triples — legal but useless. Keep the search away from that corner.
+void EnsureNonTrivial(Scenario& s, sim::Rng& rng) {
+  if (!s.inject && s.plants.empty()) {
+    if (rng.Chance(0.5)) {
+      s.inject = true;
+    } else {
+      s.plants.push_back(RandomPlant(rng));
+    }
+  }
+}
+
+}  // namespace
+
+Scenario GenerateScenario(sim::Rng& rng) {
+  Scenario s;
+  s.seed = rng.U64();
+  s.setup = rng.Chance(0.35) ? core::Setup::k3AppVM : core::Setup::k1AppVM;
+  s.bench = static_cast<guest::BenchmarkKind>(rng.Index(3));
+  s.unixbench_iterations = static_cast<int>(8000 + rng.Range(0, 24000));
+  s.blkbench_files = static_cast<int>(500 + rng.Range(0, 2000));
+  s.netbench_ms = static_cast<int>(800 + rng.Range(0, 2200));
+  s.vm3_at_start = s.setup == core::Setup::k3AppVM && rng.Chance(0.3);
+  s.share_cpu = rng.Chance(0.2);
+  s.hvm = rng.Chance(0.2);
+
+  s.inject = rng.Chance(0.85);
+  s.fault = static_cast<inject::FaultType>(rng.Index(4));
+  // Sub-millisecond jitter matters: it shifts which hypercall is in flight
+  // when the level-1 timer lands.
+  s.inject_at_ns =
+      ClampInjectAt(sim::Milliseconds(150 + rng.Range(0, 1050)) +
+                    rng.Range(0, 999999));
+  s.second_trigger = rng.Range(0, 20000);
+  if (rng.Chance(0.4)) {
+    s.trigger.kind = RandomEventTrigger(rng);
+    s.trigger.skip = static_cast<int>(rng.Range(0, 3));
+  }
+  const int nplants =
+      rng.Chance(0.5) ? 0 : static_cast<int>(rng.Range(1, kMaxPlants - 1));
+  for (int i = 0; i < nplants; ++i) s.plants.push_back(RandomPlant(rng));
+  EnsureNonTrivial(s, rng);
+  return s;
+}
+
+Scenario MutateScenario(const Scenario& base, sim::Rng& rng) {
+  Scenario s = base;
+  const int mutations = 1 + static_cast<int>(rng.Index(3));
+  for (int m = 0; m < mutations; ++m) {
+    switch (rng.Index(14)) {
+      case 0:
+        s.seed = rng.U64();
+        break;
+      case 1:  // nudge injection time; ±50 ms reaches across benchmark phases
+        s.inject_at_ns = ClampInjectAt(
+            s.inject_at_ns + rng.Range(-50000000, 50000000));
+        break;
+      case 2:  // fine nudge: slide along the in-flight hypercall stream
+        s.inject_at_ns =
+            ClampInjectAt(s.inject_at_ns + rng.Range(-50000, 50000));
+        break;
+      case 3:
+        s.second_trigger = rng.Range(0, 20000);
+        break;
+      case 4:
+        s.trigger.kind = rng.Chance(0.25) ? inject::TriggerKind::kTime
+                                          : RandomEventTrigger(rng);
+        break;
+      case 5:
+        s.trigger.skip = static_cast<int>(rng.Range(0, 5));
+        break;
+      case 6:
+        s.fault = static_cast<inject::FaultType>(rng.Index(4));
+        break;
+      case 7:
+        s.inject = !s.inject;
+        break;
+      case 8:
+        if (s.plants.size() < kMaxPlants) s.plants.push_back(RandomPlant(rng));
+        break;
+      case 9:
+        if (!s.plants.empty()) {
+          s.plants.erase(s.plants.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             rng.Index(s.plants.size())));
+        }
+        break;
+      case 10:
+        if (!s.plants.empty()) {
+          inject::PlantSpec& p = s.plants[rng.Index(s.plants.size())];
+          p.at = std::max<sim::Time>(
+              sim::Milliseconds(50), p.at + rng.Range(-200000000, 200000000));
+        }
+        break;
+      case 11:
+        if (s.setup == core::Setup::k1AppVM) {
+          s.setup = core::Setup::k3AppVM;
+        } else {
+          s.setup = core::Setup::k1AppVM;
+          s.bench = static_cast<guest::BenchmarkKind>(rng.Index(3));
+        }
+        break;
+      case 12:
+        switch (rng.Index(3)) {
+          case 0: s.vm3_at_start = !s.vm3_at_start; break;
+          case 1: s.share_cpu = !s.share_cpu; break;
+          default: s.hvm = !s.hvm; break;
+        }
+        break;
+      default:
+        s.unixbench_iterations =
+            static_cast<int>(8000 + rng.Range(0, 24000));
+        s.blkbench_files = static_cast<int>(500 + rng.Range(0, 2000));
+        s.netbench_ms = static_cast<int>(800 + rng.Range(0, 2200));
+        break;
+    }
+  }
+  EnsureNonTrivial(s, rng);
+  return s;
+}
+
+}  // namespace nlh::fuzz

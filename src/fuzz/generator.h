@@ -1,0 +1,25 @@
+// Scenario generation and mutation. Both are pure functions of the rng
+// stream passed in — no wall clock, no global state — so a fuzzing campaign
+// is fully determined by its master seed. The mutators concentrate on the
+// dimensions where recovery bugs hide: injection timing against in-flight
+// hypercalls, multicall batch boundaries, timer-heap churn, and
+// grant/event-channel traffic (the paper's retry/reactivation surface),
+// plus planted latent corruptions that only the differential audit can see.
+#pragma once
+
+#include "fuzz/scenario.h"
+#include "sim/rng.h"
+
+namespace nlh::fuzz {
+
+// Hard caps keeping scenarios shrinkable and runs bounded.
+inline constexpr int kMaxPlants = 3;
+inline constexpr std::int64_t kMinInjectAtNs = 50LL * 1000 * 1000;   // 50 ms
+inline constexpr std::int64_t kMaxInjectAtNs = 2500LL * 1000 * 1000;  // 2.5 s
+
+Scenario GenerateScenario(sim::Rng& rng);
+
+// One mutated copy of `base` (1..3 elementary mutations).
+Scenario MutateScenario(const Scenario& base, sim::Rng& rng);
+
+}  // namespace nlh::fuzz

@@ -1,0 +1,210 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <set>
+
+#include "hv/failure.h"
+
+namespace nlh::fuzz {
+
+const char* DivergenceKindName(DivergenceKind k) {
+  switch (k) {
+    case DivergenceKind::kNone: return "none";
+    case DivergenceKind::kOutcomeSplit: return "outcome_split";
+    case DivergenceKind::kRecoveryGap: return "recovery_gap";
+    case DivergenceKind::kAuditSplit: return "audit_split";
+    case DivergenceKind::kAuditSlugs: return "audit_slugs";
+    case DivergenceKind::kVmVerdictSplit: return "vm_verdict_split";
+    case DivergenceKind::kCount: break;
+  }
+  return "?";
+}
+
+bool DivergenceKindFromName(const std::string& name, DivergenceKind* out) {
+  for (int i = 0; i < static_cast<int>(DivergenceKind::kCount); ++i) {
+    const auto k = static_cast<DivergenceKind>(i);
+    if (name == DivergenceKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+PolicyVerdict MakeVerdict(core::Mechanism mechanism,
+                          const core::RunResult& r) {
+  PolicyVerdict v;
+  v.mechanism = mechanism;
+  v.outcome = r.outcome;
+  v.detected = r.detected;
+  v.recoveries = r.recoveries;
+  v.success = r.success;
+  v.no_vm_failures = r.no_vm_failures;
+  v.failure_reason = r.failure_reason;
+  v.system_dead = r.system_dead;
+  v.vm3_attempted = r.vm3_attempted;
+  v.vm3_ok = r.vm3_ok;
+  v.affected_vms = r.AffectedVmCount();
+  v.audit_clean = r.audit_clean;
+  v.latent_corruption = r.latent_corruption;
+  std::set<std::string> findings, subsystems;
+  for (const audit::AuditFinding& f : r.audit_report.findings) {
+    if (f.severity == audit::AuditSeverity::kInfo) continue;
+    findings.insert(f.invariant);
+    subsystems.insert(audit::AuditSubsystemName(f.subsystem));
+  }
+  v.latent_findings.assign(findings.begin(), findings.end());
+  v.latent_subsystems.assign(subsystems.begin(), subsystems.end());
+  v.detection_latency_ns = r.detection_latency >= 0 ? r.detection_latency : -1;
+  v.first_recovery_latency_ns =
+      r.recoveries > 0 ? r.first_recovery_latency : -1;
+  return v;
+}
+
+namespace {
+
+std::string StrArrayJson(const std::vector<std::string>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ",";
+    out += sim::JsonStr(xs[i]);
+  }
+  return out + "]";
+}
+
+// Power-of-two bucket of a cycle count: coarse enough to be stable under
+// small perturbations, fine enough that a recovery path that doubles
+// hypervisor work counts as new coverage.
+int CycleBucket(std::uint64_t cycles) {
+  int b = 0;
+  while (cycles > 1) {
+    cycles >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::uint64_t MixVerdict(std::uint64_t h, const PolicyVerdict& v) {
+  h = FnvMix(h, std::string(core::MechanismName(v.mechanism)));
+  h = FnvMix(h, std::string(core::OutcomeClassName(v.outcome)));
+  h = FnvMix(h, static_cast<std::uint64_t>(v.success ? 1 : 0));
+  h = FnvMix(h, static_cast<std::uint64_t>(v.no_vm_failures ? 1 : 0));
+  h = FnvMix(h, std::string(hv::FailureReasonName(v.failure_reason)));
+  h = FnvMix(h, static_cast<std::uint64_t>(v.affected_vms));
+  h = FnvMix(h, static_cast<std::uint64_t>(v.audit_clean ? 1 : 0));
+  for (const std::string& s : v.latent_findings) h = FnvMix(h, s);
+  return h;
+}
+
+}  // namespace
+
+std::string PolicyVerdict::ToJson() const {
+  // Integer-valued numbers only (bools as 0/1): parse -> sim::WriteJson must
+  // be a fixed point for the corpus runner's byte-for-byte comparison.
+  const auto b = [](bool x) { return std::string(x ? "1" : "0"); };
+  std::string out = "{";
+  out += "\"mechanism\":" + sim::JsonStr(core::MechanismName(mechanism));
+  out += ",\"outcome\":" + sim::JsonStr(core::OutcomeClassName(outcome));
+  out += ",\"detected\":" + b(detected);
+  out += ",\"recoveries\":" + std::to_string(recoveries);
+  out += ",\"success\":" + b(success);
+  out += ",\"no_vm_failures\":" + b(no_vm_failures);
+  out += ",\"failure_reason\":" +
+         sim::JsonStr(hv::FailureReasonName(failure_reason));
+  out += ",\"system_dead\":" + b(system_dead);
+  out += ",\"vm3_attempted\":" + b(vm3_attempted);
+  out += ",\"vm3_ok\":" + b(vm3_ok);
+  out += ",\"affected_vms\":" + std::to_string(affected_vms);
+  out += ",\"audit_clean\":" + b(audit_clean);
+  out += ",\"latent_corruption\":" + b(latent_corruption);
+  out += ",\"latent_findings\":" + StrArrayJson(latent_findings);
+  out += ",\"latent_subsystems\":" + StrArrayJson(latent_subsystems);
+  out += ",\"detection_latency_ns\":" + std::to_string(detection_latency_ns);
+  out += ",\"first_recovery_latency_ns\":" +
+         std::to_string(first_recovery_latency_ns);
+  out += "}";
+  return out;
+}
+
+std::array<core::RunConfig, kNumPolicies> OracleConfigs(const Scenario& s) {
+  std::array<core::RunConfig, kNumPolicies> cfgs;
+  for (int i = 0; i < kNumPolicies; ++i) {
+    cfgs[static_cast<std::size_t>(i)] = s.ToRunConfig(kPolicies[i]);
+  }
+  return cfgs;
+}
+
+OracleOutcome Judge(const Scenario& s,
+                    const core::RunResult results[kNumPolicies]) {
+  OracleOutcome o;
+  for (int i = 0; i < kNumPolicies; ++i) {
+    o.verdicts[static_cast<std::size_t>(i)] =
+        MakeVerdict(kPolicies[i], results[i]);
+  }
+  const PolicyVerdict& nili = o.verdicts[0];
+  const PolicyVerdict& rehype = o.verdicts[1];
+  const PolicyVerdict& base = o.verdicts[2];
+
+  if (nili.outcome != rehype.outcome || nili.outcome != base.outcome) {
+    o.divergence = DivergenceKind::kOutcomeSplit;
+    o.detail = std::string("outcome ") + core::OutcomeClassName(nili.outcome) +
+               " (NiLiHype) vs " + core::OutcomeClassName(rehype.outcome) +
+               " (ReHype) vs " + core::OutcomeClassName(base.outcome) +
+               " (baseline)";
+  } else if (nili.success != rehype.success) {
+    o.divergence = DivergenceKind::kRecoveryGap;
+    o.detail = std::string(nili.success ? "NiLiHype" : "ReHype") +
+               " recovers, " + (nili.success ? "ReHype" : "NiLiHype") +
+               " fails (" +
+               hv::FailureReasonName(nili.success ? rehype.failure_reason
+                                                  : nili.failure_reason) +
+               ")";
+  } else if (nili.success && rehype.success &&
+             nili.audit_clean != rehype.audit_clean) {
+    o.divergence = DivergenceKind::kAuditSplit;
+    const PolicyVerdict& dirty = nili.audit_clean ? rehype : nili;
+    o.detail = std::string(nili.audit_clean ? "ReHype" : "NiLiHype") +
+               " recovers with latent corruption (" +
+               (dirty.latent_findings.empty() ? "?"
+                                              : dirty.latent_findings[0]) +
+               "), the other is audit-clean";
+  } else if (nili.latent_corruption && rehype.latent_corruption &&
+             nili.latent_findings != rehype.latent_findings) {
+    o.divergence = DivergenceKind::kAuditSlugs;
+    o.detail = "both mechanisms leave latent corruption, different findings";
+  } else if (nili.affected_vms != rehype.affected_vms ||
+             nili.vm3_attempted != rehype.vm3_attempted ||
+             nili.vm3_ok != rehype.vm3_ok) {
+    o.divergence = DivergenceKind::kVmVerdictSplit;
+    o.detail = "per-VM damage differs: " + std::to_string(nili.affected_vms) +
+               " affected VMs (NiLiHype) vs " +
+               std::to_string(rehype.affected_vms) + " (ReHype)";
+  }
+
+  std::uint64_t cov = kFnvOffset;
+  for (int i = 0; i < kNumPolicies; ++i) {
+    cov = MixVerdict(cov, o.verdicts[static_cast<std::size_t>(i)]);
+    cov = FnvMix(cov,
+                 static_cast<std::uint64_t>(CycleBucket(results[i].hv_cycles)));
+  }
+  cov = FnvMix(cov, std::string(DivergenceKindName(o.divergence)));
+  o.coverage_signature = cov;
+
+  if (o.divergence != DivergenceKind::kNone) {
+    std::uint64_t sig = kFnvOffset;
+    sig = FnvMix(sig, std::string(DivergenceKindName(o.divergence)));
+    for (const PolicyVerdict& v : o.verdicts) sig = MixVerdict(sig, v);
+    o.divergence_signature = sig;
+  }
+  (void)s;
+  return o;
+}
+
+OracleOutcome EvaluateScenario(const Scenario& s, int threads) {
+  const std::array<core::RunConfig, kNumPolicies> cfgs = OracleConfigs(s);
+  const std::vector<core::RunResult> results =
+      core::RunMany({cfgs.begin(), cfgs.end()}, threads);
+  return Judge(s, results.data());
+}
+
+}  // namespace nlh::fuzz

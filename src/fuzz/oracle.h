@@ -1,0 +1,95 @@
+// Differential recovery oracle: runs one scenario under the two recovery
+// mechanisms (NiLiHype, ReHype) plus the no-recovery baseline and compares
+// the per-policy verdicts. The simulator guarantees execution is identical
+// across the three until the first detection (same seed, same injection),
+// so any divergence is attributable to the recovery path itself — exactly
+// the bug surface Sections IV/V of the paper spend their enhancement
+// catalogue on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/outcome.h"
+#include "fuzz/scenario.h"
+
+namespace nlh::fuzz {
+
+// Mechanisms a scenario is evaluated under, in fixed order. Index 2 is the
+// full-reboot-equivalent baseline: no in-place recovery mechanism at all,
+// which stands in for "lose everything and start over" — the paper's point
+// of comparison for both mechanisms.
+inline constexpr int kNumPolicies = 3;
+inline constexpr core::Mechanism kPolicies[kNumPolicies] = {
+    core::Mechanism::kNiLiHype, core::Mechanism::kReHype,
+    core::Mechanism::kNone};
+
+enum class DivergenceKind {
+  kNone = 0,
+  kOutcomeSplit,    // outcome class differs somewhere in the triple
+  kRecoveryGap,     // NiLiHype and ReHype disagree on recovery success
+  kAuditSplit,      // both recovered, but only one is audit-clean
+  kAuditSlugs,      // both carry latent corruption with different findings
+  kVmVerdictSplit,  // same top-level fate, different per-VM damage
+  kCount,
+};
+
+const char* DivergenceKindName(DivergenceKind k);
+bool DivergenceKindFromName(const std::string& name, DivergenceKind* out);
+
+// Everything the oracle compares (and the corpus runner re-asserts) about
+// one policy's run, reduced to stable slugs and integers. ToJson() emits
+// integer-valued numbers only, so parse -> sim::WriteJson is byte-stable —
+// the property the corpus regression runner's byte-for-byte check rests on.
+struct PolicyVerdict {
+  core::Mechanism mechanism = core::Mechanism::kNone;
+  core::OutcomeClass outcome = core::OutcomeClass::kNonManifested;
+  bool detected = false;
+  int recoveries = 0;
+  bool success = false;
+  bool no_vm_failures = false;
+  core::FailureReason failure_reason = core::FailureReason::kNone;
+  bool system_dead = false;
+  bool vm3_attempted = false;
+  bool vm3_ok = false;
+  int affected_vms = 0;
+  bool audit_clean = false;
+  bool latent_corruption = false;
+  // Sorted, deduplicated invariant slugs / subsystem slugs of findings with
+  // severity above info.
+  std::vector<std::string> latent_findings;
+  std::vector<std::string> latent_subsystems;
+  std::int64_t detection_latency_ns = -1;       // -1 when not applicable
+  std::int64_t first_recovery_latency_ns = -1;  // -1 when never recovered
+
+  std::string ToJson() const;
+};
+
+PolicyVerdict MakeVerdict(core::Mechanism mechanism, const core::RunResult& r);
+
+struct OracleOutcome {
+  std::array<PolicyVerdict, kNumPolicies> verdicts;
+  DivergenceKind divergence = DivergenceKind::kNone;
+  std::string detail;  // human-readable one-liner for the reproducer bundle
+  // Coverage signature: hashes the behavior triple plus bucketed hypervisor
+  // cycle counts — the generator's feedback signal. Fine-grained on purpose.
+  std::uint64_t coverage_signature = 0;
+  // Divergence identity: hashes only the divergence-relevant behavior, so
+  // re-discoveries of the same split dedupe. 0 when divergence == kNone.
+  std::uint64_t divergence_signature = 0;
+};
+
+// The three RunConfigs a scenario expands to, in kPolicies order.
+std::array<core::RunConfig, kNumPolicies> OracleConfigs(const Scenario& s);
+
+// Compares the three finished runs (in kPolicies order).
+OracleOutcome Judge(const Scenario& s,
+                    const core::RunResult results[kNumPolicies]);
+
+// Convenience: expand, run (via core::RunMany with `threads`), judge.
+OracleOutcome EvaluateScenario(const Scenario& s, int threads = 1);
+
+}  // namespace nlh::fuzz

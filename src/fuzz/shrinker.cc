@@ -1,0 +1,134 @@
+#include "fuzz/shrinker.h"
+
+#include <vector>
+
+namespace nlh::fuzz {
+
+namespace {
+
+// Candidate simplifications of `s`, most aggressive first. Regenerated
+// after every accepted transform (accepting one changes what is droppable).
+std::vector<Scenario> Candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+  const auto push = [&out](Scenario c) { out.push_back(std::move(c)); };
+
+  // Drop plants, last first: plant rng streams are keyed by index, so
+  // dropping the last one leaves every surviving plant bit-identical.
+  // (Dropping an earlier plant renumbers the rest — legal, but acceptance
+  // then depends on the re-evaluation, so try the cheap direction first.)
+  for (std::size_t i = s.plants.size(); i-- > 0;) {
+    Scenario c = s;
+    c.plants.erase(c.plants.begin() + static_cast<std::ptrdiff_t>(i));
+    push(std::move(c));
+  }
+  // Collapse the workload.
+  if (s.setup == core::Setup::k3AppVM) {
+    for (const guest::BenchmarkKind b :
+         {guest::BenchmarkKind::kUnixBench, guest::BenchmarkKind::kBlkBench,
+          guest::BenchmarkKind::kNetBench}) {
+      Scenario c = s;
+      c.setup = core::Setup::k1AppVM;
+      c.bench = b;
+      c.vm3_at_start = false;
+      push(std::move(c));
+    }
+  }
+  if (s.vm3_at_start) {
+    Scenario c = s;
+    c.vm3_at_start = false;
+    push(std::move(c));
+  }
+  if (s.share_cpu) {
+    Scenario c = s;
+    c.share_cpu = false;
+    push(std::move(c));
+  }
+  if (s.hvm) {
+    Scenario c = s;
+    c.hvm = false;
+    push(std::move(c));
+  }
+  // Drop the fault entirely when plants could carry the divergence alone.
+  if (s.inject && !s.plants.empty()) {
+    Scenario c = s;
+    c.inject = false;
+    push(std::move(c));
+  }
+  // Detrivialize the trigger condition.
+  if (s.trigger.kind != inject::TriggerKind::kTime) {
+    Scenario c = s;
+    c.trigger.kind = inject::TriggerKind::kTime;
+    c.trigger.skip = 0;
+    push(std::move(c));
+  } else if (s.trigger.skip != 0) {
+    Scenario c = s;
+    c.trigger.skip = 0;
+    push(std::move(c));
+  }
+  // Simplify the fault class toward the most deterministic one.
+  if (s.inject && s.fault != inject::FaultType::kFailstop) {
+    Scenario c = s;
+    c.fault = inject::FaultType::kFailstop;
+    push(std::move(c));
+  }
+  // Halve workloads (floors keep the run long enough to inject into).
+  if (s.unixbench_iterations > 4000) {
+    Scenario c = s;
+    c.unixbench_iterations = s.unixbench_iterations / 2;
+    push(std::move(c));
+  }
+  if (s.blkbench_files > 400) {
+    Scenario c = s;
+    c.blkbench_files = s.blkbench_files / 2;
+    push(std::move(c));
+  }
+  if (s.netbench_ms > 500) {
+    Scenario c = s;
+    c.netbench_ms = s.netbench_ms / 2;
+    push(std::move(c));
+  }
+  // Coarsen timings.
+  if (s.inject_at_ns % 1000000 != 0) {
+    Scenario c = s;
+    c.inject_at_ns = s.inject_at_ns - s.inject_at_ns % 1000000;
+    push(std::move(c));
+  }
+  if (s.second_trigger != 0) {
+    Scenario c = s;
+    c.second_trigger = 0;
+    push(std::move(c));
+  }
+  // Pin the seed last — it rerolls every downstream draw, so it only
+  // survives when the divergence is robust to the workload's randomness.
+  if (s.seed != 1) {
+    Scenario c = s;
+    c.seed = 1;
+    push(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkScenario(const Scenario& start, DivergenceKind keep,
+                            const ScenarioEval& eval, int max_evals) {
+  ShrinkResult r;
+  r.scenario = start;
+  bool progressed = true;
+  while (progressed && r.evals < max_evals) {
+    progressed = false;
+    for (const Scenario& cand : Candidates(r.scenario)) {
+      if (r.evals >= max_evals) break;
+      ++r.evals;
+      if (eval(cand).divergence == keep) {
+        r.scenario = cand;
+        ++r.accepted;
+        progressed = true;
+        break;  // restart from the new, smaller scenario
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace nlh::fuzz

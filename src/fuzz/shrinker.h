@@ -1,0 +1,32 @@
+// Minimal-reproducer shrinking: greedy delta debugging over a scenario's
+// plan. Each pass tries a fixed-order list of simplifying transforms (drop
+// a plant, collapse 3AppVM to 1AppVM, clear options, detrivialize the
+// trigger, halve workloads, coarsen timings, pin the seed); a transform is
+// kept iff the re-evaluated scenario still exhibits the *same* divergence
+// kind. Fixed candidate order + deterministic evaluation make the shrink
+// itself reproducible: the same flagged scenario always shrinks to the same
+// minimal reproducer.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+
+namespace nlh::fuzz {
+
+using ScenarioEval = std::function<OracleOutcome(const Scenario&)>;
+
+struct ShrinkResult {
+  Scenario scenario;   // smallest form still showing the divergence
+  int evals = 0;       // oracle evaluations spent
+  int accepted = 0;    // transforms that survived re-evaluation
+};
+
+// Requires: eval(start).divergence == keep (the caller just observed it).
+// `max_evals` bounds the oracle budget; the best-so-far scenario is
+// returned when it runs out.
+ShrinkResult ShrinkScenario(const Scenario& start, DivergenceKind keep,
+                            const ScenarioEval& eval, int max_evals);
+
+}  // namespace nlh::fuzz

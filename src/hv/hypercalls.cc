@@ -654,6 +654,12 @@ std::uint64_t Hypervisor::DoMulticall(OpContext& ctx, Vcpu& vc,
   ctx.Step(100, "multicall-setup");
   for (int i = start; i < n; ++i) {
     const MulticallEntry& e = a.batch[static_cast<std::size_t>(i)];
+    // Batch component boundary: the injector's trigger-event conditions can
+    // target the window between two components, where abandonment semantics
+    // depend on completion logging.
+    if (op_observer_) {
+      op_observer_(OpEventKind::kMulticallComponent, e.code, ctx.cpu().id());
+    }
     DispatchOne(ctx, vc, e.code, e.arg0, e.arg1, 0);
     // Component complete: its effects are final. Drop its undo records and
     // log progress (Section IV fine-granularity batched retry).

@@ -553,6 +553,9 @@ sim::Duration Hypervisor::HandleOneInterrupt(hw::CpuId cpu) {
 void Hypervisor::TimerSoftirq(OpContext& ctx, hw::CpuId cpu) {
   CtxSpan span(*this, ctx, span_timer_softirq_, cpu);
   c_timer_softirqs_.Inc();
+  if (op_observer_) {
+    op_observer_(OpEventKind::kTimerSoftirq, HypercallCode::kXenVersion, cpu);
+  }
   statics_.Use(StaticVar::kTimerSubsysState);
   ctx.Step(cost::kTimerSoftirqFixed, "timer-softirq");
 
@@ -731,6 +734,7 @@ std::uint64_t Hypervisor::Hypercall(VcpuId v, HypercallCode code,
   NLH_RECORD(forensics::EventKind::kHypercallEnter, cpu,
              static_cast<std::uint64_t>(code), static_cast<std::uint64_t>(v),
              std::string(HypercallName(code)));
+  if (op_observer_) op_observer_(OpEventKind::kHypercall, code, cpu);
   ctx.Step(cost::kHypercallEntry, "hypercall-entry");
   const std::uint64_t ret = Dispatch(ctx, vc, code, args);
   vc.inflight.undo.Clear();

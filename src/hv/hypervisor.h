@@ -131,6 +131,20 @@ class Hypervisor {
   // The per-CPU executor; normally invoked from the event queue.
   void RunCpuSlice(hw::CpuId cpu);
 
+  // --- Operation observation (fault injector trigger events) ---------------
+  // A lightweight tap on hypervisor operations: hypercall entry, each
+  // completed multicall batch component, and timer-softirq entry. The fault
+  // injector uses it for trigger-event injection conditions ("fire on the
+  // Nth grant op after T") so scenario fuzzing can land faults against
+  // in-flight operations instead of only at wall positions.
+  enum class OpEventKind { kHypercall, kMulticallComponent, kTimerSoftirq };
+  using OpObserver =
+      std::function<void(OpEventKind, HypercallCode, hw::CpuId)>;
+  void SetOpObserver(OpObserver observer) {
+    op_observer_ = std::move(observer);
+  }
+  void ClearOpObserver() { op_observer_ = nullptr; }
+
   // --- Error handling -------------------------------------------------------
   // Structured error delivery: the handler receives a DetectionEvent
   // instead of the old (CpuId, DetectionKind, string) triple.
@@ -327,6 +341,7 @@ class Hypervisor {
 
   ErrorHandler error_handler_;
   std::function<void(hw::CpuId)> nmi_hook_;
+  OpObserver op_observer_;
 
   // Observability. Counter handles are resolved once in the constructor so
   // hot paths bump them without a registry lookup, and span names used on

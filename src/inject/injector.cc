@@ -15,14 +15,117 @@ const char* FaultTypeName(FaultType t) {
   return "?";
 }
 
+const char* TriggerKindName(TriggerKind k) {
+  switch (k) {
+    case TriggerKind::kTime: return "time";
+    case TriggerKind::kAnyHypercall: return "hypercall";
+    case TriggerKind::kGrantOp: return "grant_op";
+    case TriggerKind::kEvtchnOp: return "evtchn_op";
+    case TriggerKind::kMulticallBoundary: return "multicall_boundary";
+    case TriggerKind::kTimerSoftirq: return "timer_softirq";
+    case TriggerKind::kCount: break;
+  }
+  return "?";
+}
+
+TriggerKind TriggerKindFromName(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(TriggerKind::kCount); ++i) {
+    const auto k = static_cast<TriggerKind>(i);
+    if (name == TriggerKindName(k)) return k;
+  }
+  return TriggerKind::kTime;
+}
+
+namespace {
+
+bool TriggerMatches(TriggerKind want, hv::Hypervisor::OpEventKind kind,
+                    hv::HypercallCode code) {
+  using OpEventKind = hv::Hypervisor::OpEventKind;
+  switch (want) {
+    case TriggerKind::kAnyHypercall:
+      return kind == OpEventKind::kHypercall;
+    case TriggerKind::kGrantOp:
+      return kind == OpEventKind::kHypercall &&
+             (code == hv::HypercallCode::kGrantMap ||
+              code == hv::HypercallCode::kGrantUnmap ||
+              code == hv::HypercallCode::kGrantCopy);
+    case TriggerKind::kEvtchnOp:
+      return kind == OpEventKind::kHypercall &&
+             (code == hv::HypercallCode::kEventChannelSend ||
+              code == hv::HypercallCode::kEventChannelAllocUnbound ||
+              code == hv::HypercallCode::kEventChannelBindInterdomain ||
+              code == hv::HypercallCode::kEventChannelClose);
+    case TriggerKind::kMulticallBoundary:
+      return kind == OpEventKind::kMulticallComponent;
+    case TriggerKind::kTimerSoftirq:
+      return kind == OpEventKind::kTimerSoftirq;
+    case TriggerKind::kTime:
+    case TriggerKind::kCount:
+      break;
+  }
+  return false;
+}
+
+}  // namespace
+
 void FaultInjector::Arm(const InjectionPlan& plan) {
   plan_ = plan;
-  hv_.platform().queue().ScheduleAt(plan.first_trigger, [this] {
-    counting_ = true;
-    remaining_ = plan_.second_trigger_instructions;
+  // Plants fire unconditionally at their absolute times, independent of the
+  // fault trigger (a scenario may consist of plants alone).
+  for (std::size_t i = 0; i < plan_.plants.size(); ++i) {
+    hv_.platform().queue().ScheduleAt(plan_.plants[i].at,
+                                      [this, i] { ApplyPlant(i); });
+  }
+  if (!plan_.fault_enabled) return;
+  hv_.platform().queue().ScheduleAt(plan_.first_trigger, [this] {
+    if (plan_.trigger.kind == TriggerKind::kTime) {
+      counting_ = true;
+      remaining_ = plan_.second_trigger_instructions;
+    } else {
+      awaiting_event_ = true;
+      events_to_skip_ = plan_.trigger.skip;
+    }
   });
   hv_.platform().SetHvStepHook(
       [this](hw::Cpu& cpu, std::uint64_t n) { OnHvStep(cpu, n); });
+  if (plan_.trigger.kind != TriggerKind::kTime) {
+    hv_.SetOpObserver([this](hv::Hypervisor::OpEventKind kind,
+                             hv::HypercallCode code,
+                             hw::CpuId /*cpu*/) { OnOpEvent(kind, code); });
+  }
+}
+
+void FaultInjector::OnOpEvent(hv::Hypervisor::OpEventKind kind,
+                              hv::HypercallCode code) {
+  if (!awaiting_event_ || fired_) return;
+  if (!TriggerMatches(plan_.trigger.kind, kind, code)) return;
+  if (events_to_skip_-- > 0) return;
+  // Condition met: arm the instruction countdown. The fault itself still
+  // fires from the per-step hook, i.e. between two real mutation steps of
+  // the matched (or a later) in-flight operation.
+  awaiting_event_ = false;
+  counting_ = true;
+  remaining_ = plan_.second_trigger_instructions;
+  hv_.ClearOpObserver();
+}
+
+void FaultInjector::ApplyPlant(std::size_t index) {
+  const PlantSpec& plant = plan_.plants[index];
+  if (hv_.dead()) return;
+  record_.planted.push_back(plant.target);
+  NLH_RECORD(forensics::EventKind::kCorruptionApplied, -1,
+             static_cast<std::uint64_t>(plant.target), 1,
+             "planted:" + std::string(CorruptionTargetName(plant.target)));
+  hv_.platform().log().Log(
+      sim::LogLevel::kDebug, hv_.Now(), "inject",
+      "planted latent corruption: " +
+          std::string(CorruptionTargetName(plant.target)));
+  // Each plant draws from its own stream, derived from the injector seed —
+  // never from rng_, whose draw order the fault trigger owns. Dropping or
+  // reordering plants during shrinking therefore perturbs neither the other
+  // plants nor the fault's manifestation roll.
+  sim::Rng plant_rng(seed_ ^ (0xc2b2ae3d27d4eb4fULL * (index + 1)));
+  ApplyCorruptionTo(hv_, plant.target, plant_rng, hooks_);
 }
 
 void FaultInjector::OnHvStep(hw::Cpu& cpu, std::uint64_t instructions) {

@@ -31,10 +31,47 @@ struct CorruptionHooks {
   std::function<void()> corrupt_random_appvm_memory;  // SDC / guest damage
 };
 
+// Trigger-event injection condition: instead of arming the instruction
+// counter the moment the level-1 timer fires, wait until the Nth matching
+// hypervisor operation *after* that moment. This lets a scenario land the
+// fault against a specific kind of in-flight work — a grant op, an event
+// channel op, a multicall batch boundary, the timer softirq — which is
+// where retry/reactivation bugs hide (Section IV/V).
+enum class TriggerKind {
+  kTime = 0,           // classic: arm immediately at first_trigger
+  kAnyHypercall,       // Nth hypercall of any code
+  kGrantOp,            // Nth grant_map/grant_unmap/grant_copy
+  kEvtchnOp,           // Nth event-channel hypercall
+  kMulticallBoundary,  // Nth multicall batch-component boundary
+  kTimerSoftirq,       // Nth timer softirq entry
+  kCount,
+};
+
+const char* TriggerKindName(TriggerKind k);
+// Inverse of TriggerKindName; returns kTime for unknown names.
+TriggerKind TriggerKindFromName(const std::string& name);
+
+struct TriggerSpec {
+  TriggerKind kind = TriggerKind::kTime;
+  int skip = 0;  // fire on the (skip+1)-th matching event
+};
+
+// A planted corruption: applies one corruption action at an absolute time,
+// silently — no manifestation, no detection. Plants create exactly the
+// latent-corruption surface the behavioral classification cannot see; the
+// scenario fuzzer's differential oracle exists to expose them.
+struct PlantSpec {
+  CorruptionTarget target = CorruptionTarget::kStaticVar;
+  sim::Time at = 0;
+};
+
 struct InjectionPlan {
   FaultType type = FaultType::kFailstop;
+  bool fault_enabled = true;                 // arm the two-level trigger?
   sim::Time first_trigger = 0;               // timer (level 1)
   std::uint64_t second_trigger_instructions = 0;  // 0..20000 (level 2)
+  TriggerSpec trigger;                       // optional level-1.5 condition
+  std::vector<PlantSpec> plants;             // silent latent corruptions
 };
 
 struct InjectionRecord {
@@ -43,6 +80,7 @@ struct InjectionRecord {
   hw::CpuId cpu = -1;
   Manifestation manifestation = Manifestation::kNone;
   std::vector<CorruptionTarget> corruptions;
+  std::vector<CorruptionTarget> planted;  // applied PlantSpecs, in time order
 };
 
 // Applies one corruption of `target` to the hypervisor — the mutation step
@@ -56,15 +94,19 @@ void ApplyCorruptionTo(hv::Hypervisor& hv, CorruptionTarget target,
 class FaultInjector {
  public:
   FaultInjector(hv::Hypervisor& hv, CorruptionHooks hooks, std::uint64_t seed)
-      : hv_(hv), hooks_(std::move(hooks)), rng_(seed) {}
+      : hv_(hv), hooks_(std::move(hooks)), rng_(seed), seed_(seed) {}
 
-  // Arms the two-level trigger.
+  ~FaultInjector() { hv_.ClearOpObserver(); }
+
+  // Arms the two-level trigger (and schedules any planted corruptions).
   void Arm(const InjectionPlan& plan);
 
   const InjectionRecord& record() const { return record_; }
 
  private:
   void OnHvStep(hw::Cpu& cpu, std::uint64_t instructions);
+  void OnOpEvent(hv::Hypervisor::OpEventKind kind, hv::HypercallCode code);
+  void ApplyPlant(std::size_t index);
   void Fire(hw::Cpu& cpu);
   [[noreturn]] void RaiseDetected(Manifestation m);
   void ApplyCorruption(CorruptionTarget target);
@@ -73,9 +115,12 @@ class FaultInjector {
   hv::Hypervisor& hv_;
   CorruptionHooks hooks_;
   sim::Rng rng_;
+  std::uint64_t seed_;  // plant streams derive from this, not from rng_
   InjectionPlan plan_;
   bool counting_ = false;
   bool fired_ = false;
+  bool awaiting_event_ = false;  // trigger-event condition armed, not yet met
+  int events_to_skip_ = 0;
   std::uint64_t remaining_ = 0;
   // Delayed-detection countdown (propagation window).
   bool delayed_armed_ = false;

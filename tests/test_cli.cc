@@ -1,0 +1,69 @@
+// CLI contract of campaign_tool: bad invocations must fail fast, with a
+// nonzero exit code and a usage message — a misspelled flag or a missing
+// corpus path in CI must never silently fall through to a default
+// campaign. NLH_CAMPAIGN_TOOL is the built binary's path (from CMake).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliResult RunTool(const std::string& args) {
+  const std::string cmd =
+      std::string(NLH_CAMPAIGN_TOOL) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  CliResult r;
+  if (pipe == nullptr) return r;
+  char buf[1024];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    r.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+TEST(CampaignToolCli, UnknownFlagExitsNonzeroWithUsage) {
+  const CliResult r = RunTool("--bogus-flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag --bogus-flag"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CampaignToolCli, UnreadableReplayPathExitsNonzeroWithUsage) {
+  const CliResult r = RunTool("--replay=/nonexistent/repro.json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unreadable"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CampaignToolCli, MissingCorpusDirExitsNonzeroWithUsage) {
+  const CliResult r = RunTool("--corpus=/nonexistent/corpus-dir");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("does not exist"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CampaignToolCli, UnreadableShrinkPathExitsNonzeroWithUsage) {
+  const CliResult r = RunTool("--shrink=/nonexistent/repro.json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CampaignToolCli, CorpusCheckPassesOnTheCommittedCorpus) {
+  const CliResult r =
+      RunTool(std::string("--corpus=") + NLH_CORPUS_DIR + " --threads=4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("corpus check passed"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

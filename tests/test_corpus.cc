@@ -1,0 +1,73 @@
+// Corpus regression runner: replays every committed reproducer in
+// tests/corpus/ and asserts its recorded outcome byte-for-byte — the
+// divergence kind and all three policy verdicts (policy results, audit
+// finding slugs, latencies) must match exactly what the bundle recorded
+// when it was shrunk. Any behavioral drift in the simulator, the recovery
+// mechanisms, or the audit engine that touches a known divergence shows up
+// here as a readable diff of canonical JSON.
+//
+// NLH_CORPUS_DIR is injected by CMake and points at the source-tree corpus.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/corpus.h"
+#include "fuzz/oracle.h"
+
+namespace {
+
+using namespace nlh;
+
+std::vector<std::string> CorpusPaths() {
+  return fuzz::ListCorpus(NLH_CORPUS_DIR);
+}
+
+TEST(CorpusShipment, ShipsAtLeastTenReproducers) {
+  EXPECT_GE(CorpusPaths().size(), 10u)
+      << "committed corpus under " << NLH_CORPUS_DIR << " shrank";
+}
+
+TEST(CorpusShipment, SpansAtLeastFourAuditSubsystems) {
+  std::set<std::string> subsystems;
+  for (const std::string& path : CorpusPaths()) {
+    fuzz::LoadedReproducer rep;
+    std::string err;
+    ASSERT_TRUE(fuzz::LoadReproducer(path, &rep, &err)) << err;
+    for (const std::string& v : rep.expected_verdicts) {
+      sim::JsonValue doc;
+      ASSERT_TRUE(sim::ParseJson(v, &doc));
+      const sim::JsonValue* subs = doc.Find("latent_subsystems");
+      ASSERT_NE(subs, nullptr);
+      for (const sim::JsonValue& s : subs->items) subsystems.insert(s.str);
+    }
+  }
+  EXPECT_GE(subsystems.size(), 4u)
+      << "corpus reproducers cover too few audit subsystems";
+}
+
+TEST(CorpusRegression, EveryReproducerReplaysByteForByte) {
+  const std::vector<std::string> paths = CorpusPaths();
+  ASSERT_FALSE(paths.empty()) << "no corpus under " << NLH_CORPUS_DIR;
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    fuzz::LoadedReproducer rep;
+    std::string err;
+    ASSERT_TRUE(fuzz::LoadReproducer(path, &rep, &err)) << err;
+
+    const fuzz::OracleOutcome o = fuzz::EvaluateScenario(rep.scenario, 3);
+    EXPECT_EQ(fuzz::DivergenceKindName(o.divergence),
+              fuzz::DivergenceKindName(rep.divergence));
+    for (int i = 0; i < fuzz::kNumPolicies; ++i) {
+      sim::JsonValue doc;
+      const std::string recomputed =
+          o.verdicts[static_cast<std::size_t>(i)].ToJson();
+      ASSERT_TRUE(sim::ParseJson(recomputed, &doc));
+      EXPECT_EQ(sim::WriteJson(doc),
+                rep.expected_verdicts[static_cast<std::size_t>(i)])
+          << "verdict drift for "
+          << core::MechanismName(fuzz::kPolicies[i]);
+    }
+  }
+}
+
+}  // namespace

@@ -127,9 +127,11 @@ TEST(EnhancementMonotonicity, MoreEnhancementsNeverHurtMuch) {
 }
 
 // Property: the auditor has no false positives. Any sequence of *completed*
-// hypervisor operations — allocations, frees, grants, timers, balanced
-// reference taking, real execution of the event queue — interleaved with
-// audit sweeps on an uninjected platform must never produce a finding.
+// hypervisor operations — allocations, frees, grants, grant map/unmap via
+// the real hypercall path, event-channel pair setup/traffic/teardown,
+// timers, balanced reference taking, real execution of the event queue —
+// interleaved with audit sweeps on an uninjected platform must never
+// produce a finding.
 TEST(AuditProperty, RandomizedOpsNeverProduceFindings) {
   for (std::uint64_t seed = 50; seed < 56; ++seed) {
     hw::PlatformConfig pc;
@@ -146,11 +148,41 @@ TEST(AuditProperty, RandomizedOpsNeverProduceFindings) {
     sim::Rng rng(seed * 1337);
     std::vector<hv::HeapObjectId> objs;
     std::vector<std::pair<hv::DomainId, hv::GrantRef>> grants;
+    std::vector<std::pair<hv::DomainId, hv::GrantRef>> mapped;
     std::vector<std::pair<int, hv::TimerId>> timers;
+    // One fully bound event-channel pair: port `pa` in domain `da` is
+    // interdomain-connected to port `pb` in domain `db`.
+    struct Chan {
+      hv::DomainId da, db;
+      hv::EventPort pa, pb;
+    };
+    std::vector<Chan> chans;
     auto pick_dom = [&] { return rng.Chance(0.5) ? a : b; };
+    auto vcpu_of = [&](hv::DomainId d) {
+      return hv.FindDomain(d)->vcpus.front();
+    };
+    auto call = [&](hv::DomainId d, hv::HypercallCode code, std::uint64_t a0,
+                    std::uint64_t a1 = 0) {
+      hv::HypercallArgs args;
+      args.arg0 = a0;
+      args.arg1 = a1;
+      return hv.Hypercall(vcpu_of(d), code, args);
+    };
+    auto is_mapped = [&](const std::pair<hv::DomainId, hv::GrantRef>& g) {
+      for (const auto& m : mapped) {
+        if (m == g) return true;
+      }
+      return false;
+    };
+    // The guest side consuming a delivered event: clear the pending bit.
+    auto consume = [&](hv::DomainId d, hv::EventPort p) {
+      for (const hv::VcpuId v : hv.FindDomain(d)->vcpus) {
+        hv.vcpu(v).pending_events &= ~(1ULL << static_cast<unsigned>(p));
+      }
+    };
 
     for (int op = 0; op < 300; ++op) {
-      switch (rng.Index(8)) {
+      switch (rng.Index(12)) {
         case 0:
           if (objs.size() < 50) {
             objs.push_back(hv.heap().Alloc(
@@ -178,6 +210,7 @@ TEST(AuditProperty, RandomizedOpsNeverProduceFindings) {
         case 3:
           if (!grants.empty()) {
             const std::size_t i = rng.Index(grants.size());
+            if (is_mapped(grants[i])) break;  // must unmap before revoking
             hv.FindDomain(grants[i].first)->grants.Revoke(grants[i].second);
             grants[i] = grants.back();
             grants.pop_back();
@@ -211,6 +244,75 @@ TEST(AuditProperty, RandomizedOpsNeverProduceFindings) {
           hv.frames().PutPage(f);
           break;
         }
+        case 7:
+          // Map an outstanding grant through the real hypercall path (the
+          // peer domain is the backend doing the mapping).
+          if (!grants.empty() && mapped.size() < 16) {
+            const auto g = grants[rng.Index(grants.size())];
+            const hv::DomainId mapper = g.first == a ? b : a;
+            call(mapper, hv::HypercallCode::kGrantMap,
+                 static_cast<std::uint64_t>(g.first),
+                 static_cast<std::uint64_t>(g.second));
+            mapped.push_back(g);
+          }
+          break;
+        case 8:
+          // Unmap a previously mapped grant, again via the hypercall.
+          if (!mapped.empty()) {
+            const std::size_t i = rng.Index(mapped.size());
+            const auto g = mapped[i];
+            const hv::DomainId mapper = g.first == a ? b : a;
+            call(mapper, hv::HypercallCode::kGrantUnmap,
+                 static_cast<std::uint64_t>(g.first),
+                 static_cast<std::uint64_t>(g.second));
+            mapped[i] = mapped.back();
+            mapped.pop_back();
+          }
+          break;
+        case 9: {
+          // Open a full event-channel pair: one side allocates an unbound
+          // port for the peer, the peer binds to it.
+          if (chans.size() >= 6) break;
+          const hv::DomainId x = pick_dom();
+          const hv::DomainId y = x == a ? b : a;
+          const hv::EventPort px = static_cast<hv::EventPort>(
+              call(x, hv::HypercallCode::kEventChannelAllocUnbound,
+                   static_cast<std::uint64_t>(y)));
+          const hv::EventPort py = static_cast<hv::EventPort>(
+              call(y, hv::HypercallCode::kEventChannelBindInterdomain,
+                   static_cast<std::uint64_t>(x),
+                   static_cast<std::uint64_t>(px)));
+          chans.push_back({x, y, px, py});
+          break;
+        }
+        case 10:
+          // Event-channel traffic or teardown. Teardown consumes any
+          // pending bits first (a close with events still pending is the
+          // evtchn.pending_closed corruption signature) and then closes
+          // BOTH ends — each end from its own domain.
+          if (!chans.empty()) {
+            const std::size_t i = rng.Index(chans.size());
+            const Chan c = chans[i];
+            if (rng.Chance(0.5)) {
+              if (rng.Chance(0.5)) {
+                call(c.da, hv::HypercallCode::kEventChannelSend,
+                     static_cast<std::uint64_t>(c.pa));
+              } else {
+                call(c.db, hv::HypercallCode::kEventChannelSend,
+                     static_cast<std::uint64_t>(c.pb));
+              }
+            } else {
+              consume(c.da, c.pa);
+              consume(c.db, c.pb);
+              call(c.da, hv::HypercallCode::kEventChannelClose,
+                   static_cast<std::uint64_t>(c.pa));
+              call(c.db, hv::HypercallCode::kEventChannelClose,
+                   static_cast<std::uint64_t>(c.pb));
+              chans[i] = chans.back();
+              chans.pop_back();
+            }
+          }
+          break;
         default:
           // Real execution: run the platform forward a little.
           platform.queue().RunUntil(hv.Now() + sim::Milliseconds(2));
